@@ -1,0 +1,272 @@
+// Package rainbar_test holds the benchmark harness required by the
+// reproduction: one testing.B benchmark per paper table and figure (see
+// DESIGN.md §4 for the experiment index). Each benchmark regenerates its
+// artifact through internal/experiment and reports domain metrics
+// (error rates, decoding rates, throughput) as custom benchmark outputs,
+// so `go test -bench=.` reprints the paper's evaluation.
+//
+// Run a single artifact with e.g.:
+//
+//	go test -bench=BenchmarkFig11 -benchtime=1x
+package rainbar_test
+
+import (
+	"testing"
+
+	"rainbar/internal/experiment"
+)
+
+// benchOptions uses fewer frames per point than rainbar-bench so the
+// whole -bench=. suite stays in CI-friendly territory.
+func benchOptions() experiment.Options {
+	o := experiment.DefaultOptions()
+	o.Scale.Frames = 4
+	return o
+}
+
+// reportTable attaches selected table cells as benchmark metrics and logs
+// the full table once.
+func reportTable(b *testing.B, t *experiment.Table) {
+	b.Helper()
+	b.Log("\n" + t.Format())
+}
+
+func BenchmarkCapacityAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.CapacityAnalysis(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkLocalizationError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.LocalizationError(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig10aDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig10aDistance(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig10bViewAngle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig10bViewAngle(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig10cBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig10cBlockSize(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig10dBrightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig10dBrightness(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig11aDecodingRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ta, _, err := experiment.Fig11DisplayRate(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, ta)
+		}
+	}
+}
+
+func BenchmarkFig11bThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tb, err := experiment.Fig11DisplayRate(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, tb)
+		}
+	}
+}
+
+func BenchmarkFig11cBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig11cBlockSize(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkTable1Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Table1Throughput(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig12aBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig12aBlockSize(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig12bDisplayRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig12bDisplayRate(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkDecodeTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.DecodeTime(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkTextTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.TextTransfer(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkHSVvsRGB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.HSVvsRGB(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkSyncAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.SyncAblation(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkLightSyncComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.LightSyncComparison(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkAlphabetRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AlphabetRobustness(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkLocalizationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.LocalizationAblation(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}
+
+func BenchmarkAdaptiveBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.AdaptiveBlockSize(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportTable(b, t)
+		}
+	}
+}

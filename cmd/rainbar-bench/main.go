@@ -1,0 +1,104 @@
+// Command rainbar-bench regenerates the paper's evaluation artifacts:
+// every figure and table of §IV plus the §III-B capacity analysis, the
+// Fig. 3/4 localization comparison, and the ablations documented in
+// DESIGN.md. Output is aligned text tables; see EXPERIMENTS.md for the
+// recorded reference run.
+//
+// Usage:
+//
+//	rainbar-bench [-exp all|fig10a|fig10b|fig10c|fig10d|fig11|fig11c|
+//	               table1|fig12a|fig12b|capacity|localization|decode-time|
+//	               text-transfer|hsv-vs-rgb|sync-ablation]
+//	              [-frames N] [-seed N] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rainbar/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id to run (or 'all')")
+		frames = flag.Int("frames", 0, "frames per sweep point (0 = default)")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		full   = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
+	)
+	flag.Parse()
+
+	o := experiment.DefaultOptions()
+	if *full {
+		o.Scale = experiment.FullScale()
+	}
+	if *frames > 0 {
+		o.Scale.Frames = *frames
+	}
+	o.Seed = *seed
+
+	if err := run(*exp, o); err != nil {
+		fmt.Fprintln(os.Stderr, "rainbar-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, o experiment.Options) error {
+	type job struct {
+		id string
+		fn func(experiment.Options) (*experiment.Table, error)
+	}
+	jobs := []job{
+		{"capacity", experiment.CapacityAnalysis},
+		{"localization", experiment.LocalizationError},
+		{"fig10a", experiment.Fig10aDistance},
+		{"fig10b", experiment.Fig10bViewAngle},
+		{"fig10c", experiment.Fig10cBlockSize},
+		{"fig10d", experiment.Fig10dBrightness},
+		{"fig11c", experiment.Fig11cBlockSize},
+		{"table1", experiment.Table1Throughput},
+		{"fig12a", experiment.Fig12aBlockSize},
+		{"fig12b", experiment.Fig12bDisplayRate},
+		{"decode-time", experiment.DecodeTime},
+		{"text-transfer", experiment.TextTransfer},
+		{"hsv-vs-rgb", experiment.HSVvsRGB},
+		{"sync-ablation", experiment.SyncAblation},
+		{"lightsync", experiment.LightSyncComparison},
+		{"alphabet", experiment.AlphabetRobustness},
+		{"loc-ablation", experiment.LocalizationAblation},
+		{"adaptive", experiment.AdaptiveBlockSize},
+	}
+
+	ran := false
+	start := time.Now()
+	if exp == "all" || exp == "fig11" || exp == "fig11a" || exp == "fig11b" {
+		ta, tb, err := experiment.Fig11DisplayRate(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ta.Format())
+		fmt.Println()
+		fmt.Print(tb.Format())
+		fmt.Println()
+		ran = true
+	}
+	for _, j := range jobs {
+		if exp != "all" && exp != j.id {
+			continue
+		}
+		t, err := j.fn(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+		fmt.Print(t.Format())
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (try -exp all)", exp)
+	}
+	fmt.Printf("total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

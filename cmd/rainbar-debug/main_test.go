@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/workload"
+)
+
+func TestRunSynthesizesAndAnnotates(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "annotated.png")
+	if err := run("", out, 640, 360, 12, 10, 12, 0.015, 1); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("annotated PNG missing or empty: %v", err)
+	}
+}
+
+func TestRunAnnotatesExistingCapture(t *testing.T) {
+	// Build a raw (unannotated) capture with the library, save it, and
+	// feed it to the tool as -in.
+	dir := t.TempDir()
+	capture := filepath.Join(dir, "capture.png")
+	geo, err := layout.NewGeometry(640, 360, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := codec.EncodeFrame(workload.Random(codec.FrameCapacity(), 2), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, err := channel.MustNew(channel.DefaultConfig()).Capture(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capt.WritePNGFile(capture); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "annotated.png")
+	if err := run(capture, out, 640, 360, 12, 0, 12, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUndecodable(t *testing.T) {
+	// Geometry mismatch: a capture from a different grid cannot be fixed.
+	out := filepath.Join(t.TempDir(), "x.png")
+	if err := run("/nonexistent.png", out, 640, 360, 12, 0, 12, 0, 1); err == nil {
+		t.Error("missing input accepted")
+	}
+}

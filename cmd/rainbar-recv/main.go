@@ -1,0 +1,96 @@
+// Command rainbar-recv decodes a directory of captured RainBar frame PNGs
+// (from rainbar-send, optionally degraded by a camera pipeline) back into
+// the original file. Captures may be clean or rolling-shutter mixtures;
+// the tracking-bar receiver reassembles either.
+//
+// Usage:
+//
+//	rainbar-recv -in DIR -out FILE [-width 1920] [-height 1080]
+//	             [-block 13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/raster"
+	"rainbar/internal/transport"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "directory of captured frame PNGs")
+		out    = flag.String("out", "", "output file")
+		width  = flag.Int("width", 1920, "screen width in pixels")
+		height = flag.Int("height", 1080, "screen height in pixels")
+		block  = flag.Int("block", 13, "block size in pixels")
+	)
+	flag.Parse()
+	if err := run(*in, *out, *width, *height, *block); err != nil {
+		fmt.Fprintln(os.Stderr, "rainbar-recv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, width, height, block int) error {
+	if in == "" || out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	paths, err := filepath.Glob(filepath.Join(in, "*.png"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no PNGs in %s", in)
+	}
+	sort.Strings(paths)
+
+	geo, err := layout.NewGeometry(width, height, block)
+	if err != nil {
+		return err
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo})
+	if err != nil {
+		return err
+	}
+	rx := core.NewReceiver(codec)
+
+	skipped := 0
+	for _, p := range paths {
+		img, err := raster.ReadPNGFile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if err := rx.Ingest(img); err != nil {
+			skipped++
+			fmt.Fprintf(os.Stderr, "rainbar-recv: skipping %s: %v\n", filepath.Base(p), err)
+		}
+	}
+	rx.Flush()
+
+	collector := transport.NewCollector()
+	failed := 0
+	for _, f := range rx.Frames() {
+		if f.Err != nil {
+			failed++
+			continue
+		}
+		if err := collector.Add(f.Payload); err != nil {
+			fmt.Fprintf(os.Stderr, "rainbar-recv: frame %d: %v\n", f.Header.Seq, err)
+		}
+	}
+	data, app, err := collector.File()
+	if err != nil {
+		return fmt.Errorf("reassembly failed (%d captures skipped, %d frames uncorrectable): %w", skipped, failed, err)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %d bytes (%s) from %d captures -> %s\n", len(data), app, len(paths), out)
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/transport"
+)
+
+// encodeDir writes a small file's frames to a directory (the sender side,
+// reimplemented here to keep the test free of the sibling main package).
+func encodeDir(t *testing.T, data []byte, dir string) {
+	t.Helper()
+	geo, err := layout.NewGeometry(640, 360, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := transport.FileCodec{Codec: codec}
+	n := fc.NumChunks(len(data))
+	for ci := 0; ci < n; ci++ {
+		payload, err := fc.Chunk(data, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := codec.EncodeFrame(payload, uint16(ci), ci == n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "frame-"+string(rune('a'+ci))+".png")
+		if err := f.Render().WritePNGFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunDecodesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	frames := filepath.Join(dir, "frames")
+	if err := os.MkdirAll(frames, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("round trip through the recv command's run function")
+	encodeDir(t, want, frames)
+
+	out := filepath.Join(dir, "out.bin")
+	if err := run(frames, out, 640, 360, 12); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recv round trip mismatch")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", 640, 360, 12); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run(t.TempDir(), filepath.Join(t.TempDir(), "x"), 640, 360, 12); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command rainbar-send encodes a file into a stream of RainBar color
+// barcode frames, written as numbered PNGs — exactly what the sender's
+// screen would display. Pair with rainbar-recv to decode, or rainbar-xfer
+// for an end-to-end run through the simulated optical channel.
+//
+// Usage:
+//
+//	rainbar-send -in FILE -out DIR [-width 1920] [-height 1080]
+//	             [-block 13] [-rate 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/transport"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input file to transmit")
+		out    = flag.String("out", "", "output directory for frame PNGs")
+		width  = flag.Int("width", 1920, "screen width in pixels")
+		height = flag.Int("height", 1080, "screen height in pixels")
+		block  = flag.Int("block", 13, "block size in pixels")
+		rate   = flag.Int("rate", 10, "display rate (fps) recorded in headers")
+	)
+	flag.Parse()
+	if err := run(*in, *out, *width, *height, *block, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "rainbar-send:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, width, height, block, rate int) error {
+	if in == "" || out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%s is empty", in)
+	}
+	geo, err := layout.NewGeometry(width, height, block)
+	if err != nil {
+		return err
+	}
+	codec, err := core.NewCodec(core.Config{
+		Geometry:    geo,
+		DisplayRate: uint8(rate),
+		AppType:     uint8(transport.Classify(data)),
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	fc := transport.FileCodec{Codec: codec}
+	n := fc.NumChunks(len(data))
+	for ci := 0; ci < n; ci++ {
+		payload, err := fc.Chunk(data, ci)
+		if err != nil {
+			return err
+		}
+		f, err := codec.EncodeFrame(payload, uint16(ci), ci == n-1)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, fmt.Sprintf("frame-%05d.png", ci))
+		if err := f.Render().WritePNGFile(path); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("encoded %d bytes (%s) into %d frames of %d bytes payload each -> %s\n",
+		len(data), transport.Classify(data), n, fc.ChunkSize(), out)
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEncodesFrames(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.txt")
+	out := filepath.Join(dir, "frames")
+	if err := os.WriteFile(in, []byte("hello rainbar send command test payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, 640, 360, 12, 10); err != nil {
+		t.Fatal(err)
+	}
+	pngs, err := filepath.Glob(filepath.Join(out, "frame-*.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pngs) == 0 {
+		t.Fatal("no frames written")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", 640, 360, 12, 10); err == nil {
+		t.Error("missing flags accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty")
+	if err := os.WriteFile(in, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, filepath.Join(dir, "out"), 640, 360, 12, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run(filepath.Join(dir, "missing"), filepath.Join(dir, "out"), 640, 360, 12, 10); err == nil {
+		t.Error("missing input accepted")
+	}
+}

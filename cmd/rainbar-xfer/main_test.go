@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTransfersFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.txt")
+	out := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(in, []byte("end to end transfer via the xfer command"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "end to end transfer via the xfer command" {
+		t.Fatal("transferred copy differs")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1); err == nil {
+		t.Error("missing -in accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(in, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", 640, 360, 12, 10, 12, 0, 1.0, "underwater", 1); err == nil {
+		t.Error("unknown ambient accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: the smallest complete RainBar round trip — encode a message
+// into one color-barcode frame, push it through the simulated optical
+// channel (perspective, lens distortion, blur, noise), and decode it back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+)
+
+func main() {
+	// 1. Pick a frame geometry: a 640x360 screen with 12 px blocks.
+	geo, err := layout.NewGeometry(640, 360, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame geometry: %dx%d blocks, %d payload bytes per frame\n",
+		geo.Cols(), geo.Rows(), codec.FrameCapacity())
+
+	// 2. Encode a payload into a frame and render it as the sender's
+	// screen would show it.
+	message := []byte("Hello from RainBar: robust visual communication over a screen-camera link!")
+	frame, err := codec.EncodeFrame(message, 0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	screen := frame.Render()
+
+	// 3. Capture it through the default optical channel: 12 cm distance,
+	// head-on, indoor light, mild blur/noise/lens distortion.
+	ch, err := channel.New(channel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	captured, err := ch.Capture(screen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Decode: brightness assessment, corner trackers, progressive
+	// locators, HSV extraction, RS correction — one call.
+	hdr, payload, err := codec.DecodeFrame(captured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded frame seq=%d last=%v\n", hdr.Seq, hdr.Last)
+	fmt.Printf("message: %q\n", payload[:len(message)])
+}

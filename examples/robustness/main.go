@@ -1,0 +1,55 @@
+// Robustness: sweep the working conditions the paper evaluates in Fig. 10
+// (distance, view angle, screen brightness) and print the raw block error
+// rate of RainBar next to the COBRA baseline — the decoders run on
+// identical captures of equivalent frames.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/experiment"
+)
+
+func main() {
+	o := experiment.DefaultOptions()
+	o.Scale.Frames = 4 // keep the example quick; rainbar-bench runs more
+
+	fmt.Println("block error rate, RainBar vs COBRA (lower is better)")
+	fmt.Println()
+
+	sweep("view angle", []float64{0, 10, 20}, func(cfg *channel.Config, v float64) {
+		cfg.ViewAngleDeg = v
+	}, o)
+	sweep("distance cm", []float64{8, 12, 16}, func(cfg *channel.Config, v float64) {
+		cfg.DistanceCM = v
+	}, o)
+	sweep("brightness %", []float64{50, 75, 100}, func(cfg *channel.Config, v float64) {
+		cfg.ScreenBrightness = v / 100
+	}, o)
+}
+
+func sweep(name string, values []float64, set func(*channel.Config, float64), o experiment.Options) {
+	fmt.Printf("%-14s %10s %10s\n", name, "rainbar", "cobra")
+	for i, v := range values {
+		cfg := channel.DefaultConfig()
+		cfg.ChromaNoiseStdDev = 50
+		cfg.ChromaNoiseScalePx = 8
+		set(&cfg, v)
+		rc := experiment.RunConfig{
+			Scale: o.Scale, BlockSize: 12, DisplayRate: 10,
+			Channel: cfg, Seed: o.Seed + int64(i),
+		}
+		rb, err := experiment.RunErrorRate(experiment.SystemRainBar, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cb, err := experiment.RunErrorRate(experiment.SystemCOBRA, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14.0f %9.2f%% %9.2f%%\n", v, 100*rb.SymbolErrorRate, 100*cb.SymbolErrorRate)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module rainbar
+
+go 1.22

@@ -1,0 +1,389 @@
+// Package channel simulates the screen-to-camera optical channel that the
+// paper's evaluation exercises on real phones (§II, §IV). It replaces the
+// physical Galaxy S4 screen/camera pair with a deterministic, seeded model
+// of the same impairments, each mapped to an evaluation axis:
+//
+//   - distance (d)            -> projected scale (pinhole model)
+//   - view angle (v_a)        -> perspective homography
+//   - lens distortion         -> radial model
+//   - focus/motion blur       -> Gaussian + horizontal box kernels
+//   - screen brightness (s_b) -> linear intensity scaling
+//   - indoor/outdoor ambient  -> additive veiling light + contrast loss
+//   - sensor noise            -> additive Gaussian per channel
+//
+// The geometry stage (Warp) and the photometric stage (Photometric) are
+// split so the rolling-shutter camera model can mix two geometrically
+// warped frames row-by-row before the shared photometric pass.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/geometry"
+	"rainbar/internal/raster"
+)
+
+// Ambient identifies the lighting environment of a capture.
+type Ambient int
+
+// Ambient environments from the paper's evaluation (indoor default;
+// outdoor notably degrades decoding, Fig. 10).
+const (
+	AmbientIndoor Ambient = iota + 1
+	AmbientOutdoor
+	AmbientDark
+)
+
+// String returns the environment name.
+func (a Ambient) String() string {
+	switch a {
+	case AmbientIndoor:
+		return "indoor"
+	case AmbientOutdoor:
+		return "outdoor"
+	case AmbientDark:
+		return "dark"
+	default:
+		return "unknown"
+	}
+}
+
+// veil returns the additive ambient level (0..255) and the contrast factor
+// the environment imposes on the captured screen.
+func (a Ambient) veil() (level float64, contrast float64) {
+	switch a {
+	case AmbientOutdoor:
+		return 46, 0.76 // strong veiling glare washes out the screen
+	case AmbientDark:
+		return 0, 1.0
+	default: // indoor
+		return 12, 0.95
+	}
+}
+
+// ReferenceDistanceCM is the paper's default sender-receiver distance.
+const ReferenceDistanceCM = 12.0
+
+// Config describes one capture condition. The zero value is not useful;
+// start from DefaultConfig and override fields.
+type Config struct {
+	// DistanceCM is the screen-camera distance (paper default 12 cm).
+	// Larger distances shrink the projected screen.
+	DistanceCM float64
+	// ViewAngleDeg is the angle between screen normal and camera axis.
+	ViewAngleDeg float64
+	// ScreenBrightness is the sender's screen brightness in [0, 1].
+	ScreenBrightness float64
+	// Ambient is the lighting environment.
+	Ambient Ambient
+	// BlurSigma is the defocus blur standard deviation in pixels at the
+	// reference distance; effective blur grows mildly with distance.
+	BlurSigma float64
+	// MotionBlurPx is the handshake motion-blur kernel length in pixels
+	// (0 or 1 disables).
+	MotionBlurPx int
+	// NoiseStdDev is the per-pixel sensor noise standard deviation in
+	// 8-bit counts.
+	NoiseStdDev float64
+	// ChromaNoiseStdDev is spatially correlated per-channel noise (8-bit
+	// counts): demosaicing and compression artifacts vary smoothly over
+	// patches of ChromaNoiseScalePx pixels, so unlike per-pixel noise they
+	// survive the decoder's mean filter. 0 disables.
+	ChromaNoiseStdDev float64
+	// ChromaNoiseScalePx is the blotch size of the correlated noise
+	// (default 8 px when ChromaNoiseStdDev > 0).
+	ChromaNoiseScalePx int
+	// LensK1, LensK2 are radial distortion coefficients (see geometry).
+	LensK1, LensK2 float64
+	// JitterPx randomly translates the projection per capture, modeling
+	// hand shake between frames.
+	JitterPx float64
+	// Seed makes every capture sequence deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's default working condition: 12 cm,
+// head-on, full brightness, indoors, mild blur/noise/lens distortion.
+func DefaultConfig() Config {
+	return Config{
+		DistanceCM:       ReferenceDistanceCM,
+		ViewAngleDeg:     0,
+		ScreenBrightness: 1.0,
+		Ambient:          AmbientIndoor,
+		BlurSigma:        0.8,
+		NoiseStdDev:      3.0,
+		LensK1:           0.015,
+		LensK2:           0.002,
+		JitterPx:         0.6,
+		Seed:             1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DistanceCM <= 0 {
+		return fmt.Errorf("channel: distance %.2f cm must be positive", c.DistanceCM)
+	}
+	if c.ScreenBrightness < 0 || c.ScreenBrightness > 1 {
+		return fmt.Errorf("channel: brightness %.2f out of [0, 1]", c.ScreenBrightness)
+	}
+	if c.ViewAngleDeg < -60 || c.ViewAngleDeg > 60 {
+		return fmt.Errorf("channel: view angle %.1f° out of [-60, 60]", c.ViewAngleDeg)
+	}
+	return nil
+}
+
+// scale converts distance into projected size: the projection is sized so
+// the screen nearly fills the capture at 8 cm — with margin for lens
+// distortion and hand jitter at the corners — and shrinks in proportion
+// (pinhole model).
+func (c Config) scale() float64 {
+	return 0.92 * 8.0 / c.DistanceCM
+}
+
+// effectiveBlurSigma grows defocus mildly as the subject leaves the focal
+// plane at the reference distance.
+func (c Config) effectiveBlurSigma() float64 {
+	d := math.Abs(c.DistanceCM-ReferenceDistanceCM) / ReferenceDistanceCM
+	return c.BlurSigma * (1 + 0.7*d)
+}
+
+// ForwardMap returns the exact screen-to-capture geometric mapping of this
+// condition with zero jitter: perspective projection followed by the
+// inverse of the lens model (the warp samples capture pixels by applying
+// the lens model forward, so the true forward map inverts it by fixed-
+// point iteration). Ground-truth localization experiments (Fig. 3/4)
+// compare decoder estimates against this map.
+func (c Config) ForwardMap(w, h int) (func(geometry.Point) geometry.Point, error) {
+	hom, err := geometry.PerspectiveView(float64(w), float64(h), c.ViewAngleDeg, c.scale(), 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("channel forward map: %w", err)
+	}
+	lens := geometry.RadialDistortion{
+		Center: geometry.Point{X: float64(w) / 2, Y: float64(h) / 2},
+		Norm:   math.Hypot(float64(w), float64(h)) / 2,
+		K1:     c.LensK1,
+		K2:     c.LensK2,
+	}
+	return func(p geometry.Point) geometry.Point {
+		target := hom.Apply(p)
+		// Solve lens.Apply(q) == target by fixed-point iteration
+		// q <- center + (target - center) / f(|q - center|).
+		q := target
+		for i := 0; i < 20; i++ {
+			mapped := lens.Apply(q)
+			next := q.Add(target.Sub(mapped))
+			if next.Dist(q) < 1e-6 {
+				return next
+			}
+			q = next
+		}
+		return q
+	}, nil
+}
+
+// Channel applies a capture condition to rendered frames. Each Channel has
+// its own PRNG stream; captures mutate that stream, so a Channel is not
+// safe for concurrent use (clone one per goroutine via New).
+type Channel struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New creates a channel for the given condition.
+func New(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// MustNew is New but panics on invalid configuration; for tests and
+// literal configs.
+func MustNew(cfg Config) *Channel {
+	ch, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ch
+}
+
+// Config returns the channel's condition.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Warp applies only the geometric stage (perspective + lens distortion +
+// per-capture jitter) to a rendered frame, returning a capture-resolution
+// image on a black background. The same jitter draw is used for the whole
+// frame, as a real capture would.
+func (ch *Channel) Warp(frame *raster.Image) (*raster.Image, error) {
+	jx := (ch.rng.Float64()*2 - 1) * ch.cfg.JitterPx
+	jy := (ch.rng.Float64()*2 - 1) * ch.cfg.JitterPx
+	return ch.warpWithJitter(frame, jx, jy)
+}
+
+// WarpPair warps two frames with identical geometry (one jitter draw), as
+// needed for rolling-shutter mixing where both partial frames share the
+// capture geometry.
+func (ch *Channel) WarpPair(a, b *raster.Image) (wa, wb *raster.Image, err error) {
+	out, err := ch.WarpAll([]*raster.Image{a, b})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out[0], out[1], nil
+}
+
+// WarpAll warps any number of frames with identical geometry (a single
+// jitter draw). A rolling-shutter capture that spans several displayed
+// frames mixes their rows within one capture geometry.
+func (ch *Channel) WarpAll(frames []*raster.Image) ([]*raster.Image, error) {
+	jx := (ch.rng.Float64()*2 - 1) * ch.cfg.JitterPx
+	jy := (ch.rng.Float64()*2 - 1) * ch.cfg.JitterPx
+	out := make([]*raster.Image, len(frames))
+	for i, f := range frames {
+		w, err := ch.warpWithJitter(f, jx, jy)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+func (ch *Channel) warpWithJitter(frame *raster.Image, jx, jy float64) (*raster.Image, error) {
+	w, h := frame.W, frame.H
+	hom, err := geometry.PerspectiveView(float64(w), float64(h), ch.cfg.ViewAngleDeg, ch.cfg.scale(), jx, jy)
+	if err != nil {
+		return nil, fmt.Errorf("channel warp: %w", err)
+	}
+	inv, err := hom.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("channel warp: %w", err)
+	}
+	lens := geometry.RadialDistortion{
+		Center: geometry.Point{X: float64(w) / 2, Y: float64(h) / 2},
+		Norm:   math.Hypot(float64(w), float64(h)) / 2,
+		K1:     ch.cfg.LensK1,
+		K2:     ch.cfg.LensK2,
+	}
+
+	out := raster.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Captured pixel -> ideal pinhole position (lens model) ->
+			// screen position (inverse perspective).
+			ideal := lens.Apply(geometry.Point{X: float64(x), Y: float64(y)})
+			src := inv.Apply(ideal)
+			if src.X < -1 || src.X > float64(w) || src.Y < -1 || src.Y > float64(h) {
+				continue // stays black: the dark surround of the screen
+			}
+			out.Set(x, y, frame.Bilinear(src.X, src.Y))
+		}
+	}
+	return out, nil
+}
+
+// Photometric applies the non-geometric stage in place of a new image:
+// blur, screen brightness, ambient veiling light, and sensor noise.
+func (ch *Channel) Photometric(img *raster.Image) *raster.Image {
+	out := img.GaussianBlur(ch.cfg.effectiveBlurSigma())
+	if ch.cfg.MotionBlurPx > 1 {
+		out = out.MotionBlurHorizontal(ch.cfg.MotionBlurPx)
+	}
+	chroma := ch.chromaField(out.W, out.H)
+	level, contrast := ch.cfg.Ambient.veil()
+	bright := ch.cfg.ScreenBrightness
+	for i, p := range out.Pix {
+		var cr, cg, cb float64
+		if chroma[0] != nil {
+			// Chroma artifacts scale with local luminance: camera
+			// pipelines denoise shadows aggressively, so dark (structural
+			// black) regions keep far less correlated noise than lit ones.
+			luma := (0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)) / 255
+			gain := 0.15 + 0.85*luma
+			cr, cg, cb = chroma[0][i]*gain, chroma[1][i]*gain, chroma[2][i]*gain
+		}
+		out.Pix[i] = colorspace.RGB{
+			R: photom(p.R, bright, contrast, level, ch.noise()+cr),
+			G: photom(p.G, bright, contrast, level, ch.noise()+cg),
+			B: photom(p.B, bright, contrast, level, ch.noise()+cb),
+		}
+	}
+	return out
+}
+
+// chromaField builds the spatially correlated noise planes for one
+// capture: coarse per-patch Gaussian draws, bilinearly upsampled.
+func (ch *Channel) chromaField(w, h int) [3][]float64 {
+	var zero [3][]float64
+	if ch.cfg.ChromaNoiseStdDev <= 0 {
+		return zero
+	}
+	scale := ch.cfg.ChromaNoiseScalePx
+	if scale < 2 {
+		scale = 8
+	}
+	cw, chh := w/scale+2, h/scale+2
+	var coarse [3][]float64
+	for c := 0; c < 3; c++ {
+		coarse[c] = make([]float64, cw*chh)
+		for i := range coarse[c] {
+			coarse[c][i] = ch.rng.NormFloat64() * ch.cfg.ChromaNoiseStdDev
+		}
+	}
+	var out [3][]float64
+	for c := 0; c < 3; c++ {
+		out[c] = make([]float64, w*h)
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y) / float64(scale)
+		y0 := int(fy)
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(scale)
+			x0 := int(fx)
+			tx := fx - float64(x0)
+			for c := 0; c < 3; c++ {
+				v00 := coarse[c][y0*cw+x0]
+				v10 := coarse[c][y0*cw+x0+1]
+				v01 := coarse[c][(y0+1)*cw+x0]
+				v11 := coarse[c][(y0+1)*cw+x0+1]
+				top := v00*(1-tx) + v10*tx
+				bot := v01*(1-tx) + v11*tx
+				out[c][y*w+x] = top*(1-ty) + bot*ty
+			}
+		}
+	}
+	return out
+}
+
+func (ch *Channel) noise() float64 {
+	if ch.cfg.NoiseStdDev <= 0 {
+		return 0
+	}
+	return ch.rng.NormFloat64() * ch.cfg.NoiseStdDev
+}
+
+func photom(v uint8, bright, contrast, ambient, noise float64) uint8 {
+	f := float64(v)*bright*contrast + ambient + noise
+	if f < 0 {
+		return 0
+	}
+	if f > 255 {
+		return 255
+	}
+	return uint8(f + 0.5)
+}
+
+// Capture runs the full pipeline on a single displayed frame: geometry
+// then photometrics. This is what a global-shutter camera (or a rolling-
+// shutter camera with f_d <= f_c/2 and aligned timing) would produce.
+func (ch *Channel) Capture(frame *raster.Image) (*raster.Image, error) {
+	warped, err := ch.Warp(frame)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Photometric(warped), nil
+}

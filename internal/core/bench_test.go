@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/raster"
+)
+
+// benchCapture prepares one default-channel capture of a full frame.
+func benchCapture(b *testing.B) (*Codec, *raster.Image) {
+	b.Helper()
+	c := testCodec(b)
+	f, err := c.EncodeFrame(payloadFor(c, 1), 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capt, err := channel.MustNew(channel.DefaultConfig()).Capture(f.Render())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, capt
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	c := testCodec(b)
+	payload := payloadFor(c, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeFrame(payload, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderFrame(b *testing.B) {
+	c := testCodec(b)
+	f, err := c.EncodeFrame(payloadFor(c, 1), 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Render()
+	}
+}
+
+func BenchmarkFixImage(b *testing.B) {
+	// Detection + progressive localization: the geometric front half of
+	// the decoder (§III-C/E).
+	c, capt := benchCapture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FixImage(capt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeGrid(b *testing.B) {
+	// The full per-capture decode pipeline (§III-C..F), the number §IV-D's
+	// real-time budget is about.
+	c, capt := benchCapture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeGrid(capt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	c, capt := benchCapture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.DecodeFrame(capt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssemblePayload(b *testing.B) {
+	// RS + checksum only: the non-vision tail of the decoder.
+	c, capt := benchCapture(b)
+	gd, err := c.DecodeGrid(capt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AssemblePayload(gd.Cells, gd.Header); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

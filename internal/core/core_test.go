@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core/header"
+	"rainbar/internal/core/layout"
+)
+
+// testGeometry is a reduced screen (tests run hundreds of captures; the
+// full S4 raster would be needlessly slow). 480x270 at 10 px -> 48x27 grid.
+func testGeometry(t testing.TB) *layout.Geometry {
+	t.Helper()
+	g, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testCodec(t testing.TB) *Codec {
+	t.Helper()
+	c, err := NewCodec(Config{Geometry: testGeometry(t), DisplayRate: 10, AppType: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func payloadFor(c *Codec, seed int64) []byte {
+	data := make([]byte, c.FrameCapacity())
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestNewCodecValidation(t *testing.T) {
+	if _, err := NewCodec(Config{}); err == nil {
+		t.Error("nil geometry accepted")
+	}
+	if _, err := NewCodec(Config{Geometry: testGeometry(t), RSParity: 300}); err == nil {
+		t.Error("oversized parity accepted")
+	}
+}
+
+func TestFrameCapacityPositiveAndConsistent(t *testing.T) {
+	c := testCodec(t)
+	if c.FrameCapacity() <= 0 {
+		t.Fatal("no capacity")
+	}
+	// Capacity must be area minus RS parity overhead.
+	area := c.Geometry().DataCapacityBytes()
+	if c.FrameCapacity() >= area {
+		t.Fatalf("capacity %d not below raw area %d", c.FrameCapacity(), area)
+	}
+}
+
+func TestEncodeFrameRejectsOversizedPayload(t *testing.T) {
+	c := testCodec(t)
+	if _, err := c.EncodeFrame(make([]byte, c.FrameCapacity()+1), 0, false); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestEncodeFrameStructuralCells(t *testing.T) {
+	c := testCodec(t)
+	f, err := c.EncodeFrame([]byte("hello"), 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Geometry()
+	// Tracking bar color for seq 5 (5&3 = 1) is red.
+	if got := f.ColorAt(0, 0); got != layout.TrackingBarColor(5) {
+		t.Errorf("bar color %v, want %v", got, layout.TrackingBarColor(5))
+	}
+	ct := g.CTLeftCenter()
+	if got := f.ColorAt(ct.Row, ct.Col); got.String() != "black" {
+		t.Errorf("CT center %v, want black", got)
+	}
+	if got := f.ColorAt(ct.Row, ct.Col-1); got != layout.CTRingColorLeft {
+		t.Errorf("left ring %v, want green", got)
+	}
+	ctr := g.CTRightCenter()
+	if got := f.ColorAt(ctr.Row, ctr.Col+1); got != layout.CTRingColorRight {
+		t.Errorf("right ring %v, want red", got)
+	}
+	_, mid, _ := g.LocatorCols()
+	if got := f.ColorAt(2, mid); got.String() != "black" {
+		t.Errorf("first middle locator %v, want black", got)
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	c := testCodec(t)
+	f, err := c.EncodeFrame([]byte("x"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := f.Render()
+	g := c.Geometry()
+	if img.W != g.Cols()*g.BlockSize() || img.H != g.Rows()*g.BlockSize() {
+		t.Fatalf("render %dx%d", img.W, img.H)
+	}
+}
+
+func TestPerfectRoundTripNoChannel(t *testing.T) {
+	// Decode the rendered frame directly — no optical impairments. This
+	// validates the whole geometric pipeline in isolation.
+	c := testCodec(t)
+	want := payloadFor(c, 1)
+	f, err := c.EncodeFrame(want, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := c.DecodeFrame(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Seq != 9 || !hdr.Last {
+		t.Errorf("header = %+v", hdr)
+	}
+	if hdr.DisplayRate != 10 || hdr.AppType != 1 {
+		t.Errorf("header metadata = %+v", hdr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload mismatch on clean render")
+	}
+}
+
+func TestRoundTripThroughDefaultChannel(t *testing.T) {
+	// The headline integration test: encode, pass through the default
+	// optical channel (perspective, lens distortion, blur, noise), decode.
+	c := testCodec(t)
+	want := payloadFor(c, 2)
+	f, err := c.EncodeFrame(want, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := channel.MustNew(channel.DefaultConfig())
+	capt, err := ch.Capture(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := c.DecodeFrame(capt)
+	if err != nil {
+		t.Fatalf("decode through channel: %v", err)
+	}
+	if hdr.Seq != 3 {
+		t.Errorf("seq = %d", hdr.Seq)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted through default channel")
+	}
+}
+
+func TestRoundTripAtViewAngle(t *testing.T) {
+	c := testCodec(t)
+	want := payloadFor(c, 3)
+	f, err := c.EncodeFrame(want, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, angle := range []float64{5, 10, 15} {
+		cfg := channel.DefaultConfig()
+		cfg.ViewAngleDeg = angle
+		capt, err := channel.MustNew(cfg).Capture(f.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := c.DecodeFrame(capt)
+		if err != nil {
+			t.Fatalf("angle %.0f°: %v", angle, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("angle %.0f°: payload corrupted", angle)
+		}
+	}
+}
+
+func TestEncodeAllSplitsAndFlagsLast(t *testing.T) {
+	c := testCodec(t)
+	data := make([]byte, c.FrameCapacity()*2+10)
+	rand.New(rand.NewSource(4)).Read(data)
+	frames, err := c.EncodeAll(data, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("%d frames, want 3", len(frames))
+	}
+	for i, f := range frames {
+		if f.Header().Seq != uint16(7+i) {
+			t.Errorf("frame %d seq = %d", i, f.Header().Seq)
+		}
+		if f.Header().Last != (i == 2) {
+			t.Errorf("frame %d last = %v", i, f.Header().Last)
+		}
+	}
+}
+
+func TestEncodeAllEmpty(t *testing.T) {
+	c := testCodec(t)
+	if _, err := c.EncodeAll(nil, 0); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// An image with no barcode at all must fail cleanly.
+	c := testCodec(t)
+	frame, err := c.EncodeFrame([]byte("x"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := frame.Render()
+	rendered.Fill(rendered.At(0, 0)) // wipe to a uniform color
+	if _, _, err := c.DecodeFrame(rendered); err == nil {
+		t.Fatal("uniform image decoded")
+	}
+}
+
+func TestAssemblePayloadWrongLength(t *testing.T) {
+	c := testCodec(t)
+	if _, err := c.AssemblePayload(nil, header.Header{}); err == nil {
+		t.Fatal("wrong cell count accepted")
+	}
+}
+
+func TestDecodeUpsideDownCapture(t *testing.T) {
+	// A capture taken with the receiving phone inverted must decode via
+	// the automatic 180° recovery (the asymmetric corner trackers reveal
+	// the orientation).
+	c := testCodec(t)
+	want := payloadFor(c, 11)
+	f, err := c.EncodeFrame(want, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, err := channel.MustNew(channel.DefaultConfig()).Capture(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := c.DecodeFrame(capt.Rotate180())
+	if err != nil {
+		t.Fatalf("upside-down decode: %v", err)
+	}
+	if hdr.Seq != 6 || !bytes.Equal(got, want) {
+		t.Fatal("upside-down round trip mismatch")
+	}
+}
+
+func TestCleanRenderRoundTripProperty(t *testing.T) {
+	// Fuzz the payload contents: every clean render must decode exactly.
+	c := testCodec(t)
+	prop := func(seed int64, lastFlag bool) bool {
+		payload := make([]byte, c.FrameCapacity())
+		rand.New(rand.NewSource(seed)).Read(payload)
+		f, err := c.EncodeFrame(payload, uint16(seed&0x7FFF), lastFlag)
+		if err != nil {
+			return false
+		}
+		hdr, got, err := c.DecodeFrame(f.Render())
+		return err == nil && hdr.Last == lastFlag && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

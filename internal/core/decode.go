@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core/header"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/geometry"
+	"rainbar/internal/raster"
+)
+
+// GridDecode is the geometry-level decode of one captured image: every
+// data cell classified, the header parsed, and the per-row tracking-bar
+// colors read. Payload assembly happens later (possibly across captures,
+// when rolling shutter mixes frames).
+type GridDecode struct {
+	// Header is the header of the frame owning the top of the capture.
+	// Valid only when HeaderOK (DecodeGridLoose can return grids whose
+	// header row was unreadable, e.g. blended by an LCD transition).
+	Header header.Header
+	// HeaderOK reports whether Header passed its CRCs.
+	HeaderOK bool
+	// Cells holds the classified color of every data cell, in
+	// Geometry.DataCells() order.
+	Cells []colorspace.Color
+	// BarColors holds the per-grid-row tracking-bar color; valid only
+	// where BarOK is true.
+	BarColors []colorspace.Color
+	// BarOK marks rows whose left and right tracking bars agree. Rows
+	// captured mid-transition (LCD blend) usually disagree and cannot be
+	// attributed to either frame.
+	BarOK []bool
+	// TV is the adaptive value threshold used (diagnostics).
+	TV float64
+	// LocatorMisses counts dead-reckoned code locators (diagnostics).
+	LocatorMisses int
+	// Sharpness is the capture's focus metric, used by blur assessment to
+	// choose between duplicate captures of one frame.
+	Sharpness float64
+}
+
+// RowOwner returns which logical frame owns grid row r: 0 for the header's
+// frame, 1 for the next frame, or -1 when the bar color is inconsistent
+// with both (d_t >= 2, §III-D).
+func (gd *GridDecode) RowOwner(r int) int {
+	return gd.RowOwnerFor(r, gd.Header.Seq)
+}
+
+// RowOwnerFor is RowOwner against an assumed top-frame sequence number,
+// for receivers that inferred the sequence when the header was unreadable.
+func (gd *GridDecode) RowOwnerFor(r int, seq uint16) int {
+	if !gd.BarOK[r] {
+		return -1
+	}
+	d := layout.BarDiff(gd.BarColors[r], layout.TrackingBarColor(seq))
+	if d <= 1 {
+		return d
+	}
+	return -1
+}
+
+// Consistent reports whether at most maxBad rows have inconsistent
+// tracking bars; the paper drops captures with d_t >= 2 rows.
+func (gd *GridDecode) Consistent(maxBad int) bool {
+	bad := 0
+	for r := range gd.BarColors {
+		if gd.RowOwner(r) < 0 {
+			bad++
+		}
+	}
+	return bad <= maxBad
+}
+
+// DecodeGrid runs the full §III-C..F pipeline on one captured image:
+// brightness assessment, corner-tracker detection, progressive locator
+// localization, block localization, and HSV code extraction. An
+// unreadable header is an error; streaming receivers that can infer the
+// sequence from tracking bars should use DecodeGridLoose.
+func (c *Codec) DecodeGrid(img *raster.Image) (*GridDecode, error) {
+	gd, err := c.DecodeGridLoose(img)
+	if err != nil {
+		return nil, err
+	}
+	if !gd.HeaderOK {
+		return nil, fmt.Errorf("core: header unreadable: %w", header.ErrCorrupt)
+	}
+	return gd, nil
+}
+
+// DecodeGridLoose is DecodeGrid except that an unreadable header is not
+// fatal: the grid cells and tracking bars are still returned with
+// HeaderOK false, so a receiver can attribute the rows by other means.
+//
+// Captures taken with the phone upside down are recovered transparently:
+// the asymmetric corner trackers (green left, red right) reveal a
+// half-turn orientation, and the decode reruns on the rotated image.
+func (c *Codec) DecodeGridLoose(img *raster.Image) (*GridDecode, error) {
+	gd, err := c.decodeGridOriented(img)
+	if err != nil && errors.Is(err, ErrNoCornerTrackers) {
+		if gd2, err2 := c.decodeGridOriented(img.Rotate180()); err2 == nil {
+			return gd2, nil
+		}
+	}
+	return gd, err
+}
+
+func (c *Codec) decodeGridOriented(img *raster.Image) (*GridDecode, error) {
+	det, err := c.detect(img)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := c.locateAll(img, det)
+	if err != nil {
+		return nil, err
+	}
+	return c.extractGrid(img, det, lm)
+}
+
+// extractGrid is the sampling/classification back half of the grid decode:
+// header strip, data cells and tracking bars, given a geometric fix.
+func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (*GridDecode, error) {
+	g := c.cfg.Geometry
+	cl := colorspace.NewClassifier(det.tv)
+
+	sample := func(row, col int) colorspace.Color {
+		p := c.cellCenter(lm, row, col)
+		return cl.ClassifyRGB(img.MeanFilterAt(int(p.X+0.5), int(p.Y+0.5)))
+	}
+
+	// Header strip.
+	hdrCells := g.HeaderCells()
+	strip := make([]colorspace.Color, len(hdrCells))
+	for i, cell := range hdrCells {
+		strip[i] = sample(cell.Row, cell.Col)
+	}
+	hdr, hdrErr := header.DecodeColors(strip)
+
+	gd := &GridDecode{
+		Header:        hdr,
+		HeaderOK:      hdrErr == nil,
+		Cells:         make([]colorspace.Color, len(g.DataCells())),
+		BarColors:     make([]colorspace.Color, g.Rows()),
+		BarOK:         make([]bool, g.Rows()),
+		TV:            det.tv,
+		LocatorMisses: lm.misses,
+		Sharpness:     img.Sharpness(),
+	}
+	for i, cell := range g.DataCells() {
+		gd.Cells[i] = sample(cell.Row, cell.Col)
+	}
+
+	// Tracking bars: a row is attributable only when its left and right
+	// bar blocks agree on a data color. Rows captured mid-transition (LCD
+	// blend) or under heavy noise disagree and are left unowned — another
+	// capture supplies them.
+	for r := 0; r < g.Rows(); r++ {
+		left := sample(r, 0)
+		right := sample(r, g.Cols()-1)
+		if left == right && left.IsData() {
+			gd.BarColors[r] = left
+			gd.BarOK[r] = true
+		}
+	}
+	return gd, nil
+}
+
+// LocateCenters runs detection and progressive localization only and
+// returns the estimated capture-space center of every data cell, aligned
+// with Geometry.DataCells(). Used by the localization-error experiment
+// (paper Fig. 3/4) to compare against ground truth.
+func (c *Codec) LocateCenters(img *raster.Image) ([]geometry.Point, error) {
+	det, err := c.detect(img)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := c.locateAll(img, det)
+	if err != nil {
+		return nil, err
+	}
+	cells := c.cfg.Geometry.DataCells()
+	out := make([]geometry.Point, len(cells))
+	for i, cell := range cells {
+		out[i] = c.cellCenter(lm, cell.Row, cell.Col)
+	}
+	return out, nil
+}
+
+// AssemblePayload turns a complete set of data-cell colors into the frame
+// payload: pack 2-bit symbols, RS-decode each message, verify the frame
+// checksum from hdr.
+//
+// Data cells that classified *black* are soft information: black never
+// encodes data, so such a cell was misread (blur, shadow, blend) and its
+// byte is handed to Reed-Solomon as an erasure — an erasure costs half
+// the parity budget of an unknown error, so flagging them doubles the
+// correction power exactly where the capture was weakest.
+func (c *Codec) AssemblePayload(cells []colorspace.Color, hdr header.Header) ([]byte, error) {
+	g := c.cfg.Geometry
+	if len(cells) != len(g.DataCells()) {
+		return nil, fmt.Errorf("core: %d cells, want %d", len(cells), len(g.DataCells()))
+	}
+	stream := make([]byte, g.DataCapacityBytes())
+	suspect := make([]bool, len(stream))
+	for i, col := range cells {
+		if i/4 >= len(stream) {
+			break
+		}
+		var bits byte
+		if col.IsData() {
+			bits = col.Bits()
+		} else {
+			suspect[i/4] = true
+		}
+		stream[i/4] |= bits << uint(6-2*(i%4))
+	}
+	return c.decodePayload(stream, suspect, hdr.FrameChecksum)
+}
+
+// DecodeFrame decodes a single clean (unmixed) capture end to end. For
+// captures that may mix two frames, use a Receiver instead.
+func (c *Codec) DecodeFrame(img *raster.Image) (header.Header, []byte, error) {
+	gd, err := c.DecodeGrid(img)
+	if err != nil {
+		return header.Header{}, nil, err
+	}
+	payload, err := c.AssemblePayload(gd.Cells, gd.Header)
+	if err != nil {
+		return gd.Header, nil, err
+	}
+	return gd.Header, payload, nil
+}

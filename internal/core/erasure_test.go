@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar/internal/colorspace"
+)
+
+// truthCells returns the encoder's cell colors for a frame.
+func truthCells(c *Codec, f *Frame) []colorspace.Color {
+	cells := c.Geometry().DataCells()
+	out := make([]colorspace.Color, len(cells))
+	for i, cell := range cells {
+		out[i] = f.ColorAt(cell.Row, cell.Col)
+	}
+	return out
+}
+
+func TestErasuresDoubleCorrectionPower(t *testing.T) {
+	// With 16 parity bytes per message, RS alone corrects 8 unknown byte
+	// errors; flagged as erasures, up to 14 corrupted bytes are
+	// recoverable (the decoder caps at parity-2). Blacking out 11 bytes'
+	// worth of cells in one message must fail without erasure marking and
+	// succeed with it.
+	c := testCodec(t)
+	want := payloadFor(c, 1)
+	f, err := c.EncodeFrame(want, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := truthCells(c, f)
+
+	// Corrupt 44 consecutive cells (11 bytes) in the first message.
+	const corruptCells = 44
+	blacked := make([]colorspace.Color, len(cells))
+	copy(blacked, cells)
+	for i := 0; i < corruptCells; i++ {
+		blacked[i] = colorspace.Black // decoder sees a structural misread
+	}
+	got, err := c.AssemblePayload(blacked, f.Header())
+	if err != nil {
+		t.Fatalf("erasure-assisted decode failed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("erasure-assisted decode returned wrong payload")
+	}
+
+	// The same corruption as plausible-but-wrong colors (no black hint)
+	// must exceed plain RS capability.
+	flipped := make([]colorspace.Color, len(cells))
+	copy(flipped, cells)
+	for i := 0; i < corruptCells; i++ {
+		flipped[i] = colorspace.Color((uint8(flipped[i]) + 1) % colorspace.NumDataColors)
+	}
+	if _, err := c.AssemblePayload(flipped, f.Header()); err == nil {
+		t.Fatal("11 unknown byte errors decoded with 16 parity (capability is 8)")
+	}
+}
+
+func TestErasureFallbackWhenBlackEverywhere(t *testing.T) {
+	// When more cells read black than the parity budget can absorb, the
+	// decoder must fall back to blind decoding rather than guaranteed
+	// erasure failure — and then fail cleanly (corruption is total).
+	c := testCodec(t)
+	f, err := c.EncodeFrame(payloadFor(c, 2), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := truthCells(c, f)
+	for i := range cells {
+		cells[i] = colorspace.Black
+	}
+	if _, err := c.AssemblePayload(cells, f.Header()); err == nil {
+		t.Fatal("all-black frame decoded")
+	}
+}
+
+func TestErasuresWrongGuessStillDecodes(t *testing.T) {
+	// A black misread whose underlying byte is actually *correct* (only
+	// one of the byte's four cells was black, the rest right) must not
+	// break decoding: erasures of correct bytes are harmless to RS.
+	c := testCodec(t)
+	want := payloadFor(c, 3)
+	f, err := c.EncodeFrame(want, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := truthCells(c, f)
+	// Black out one white cell (bits 00): the packed byte keeps its value.
+	for i, col := range cells {
+		if col == colorspace.White {
+			cells[i] = colorspace.Black
+			break
+		}
+	}
+	got, err := c.AssemblePayload(cells, f.Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload mismatch")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/geometry"
+)
+
+func TestFixImageMapsCellCenters(t *testing.T) {
+	// On a perfect render, the fix must map every data cell to within a
+	// fraction of a block of its true center.
+	c := testCodec(t)
+	f, err := c.EncodeFrame(payloadFor(c, 1), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := f.Render()
+	fix, err := c.FixImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Geometry()
+	var worst float64
+	for _, cell := range g.DataCells() {
+		x, y := g.BlockCenterPx(cell.Row, cell.Col)
+		p := fix.CellCenter(cell.Row, cell.Col)
+		d := math.Hypot(p.X-x, p.Y-y)
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > float64(g.BlockSize())/3 {
+		t.Fatalf("worst cell-center error %.2f px on a clean render", worst)
+	}
+}
+
+func TestFixImageDiagnostics(t *testing.T) {
+	c := testCodec(t)
+	f, err := c.EncodeFrame(payloadFor(c, 2), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := c.FixImage(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := float64(c.Geometry().BlockSize())
+	if got := fix.BlockSize(); got < bs*0.8 || got > bs*1.2 {
+		t.Errorf("BST estimate %.2f, true %v", got, bs)
+	}
+	if fix.LocatorMisses() != 0 {
+		t.Errorf("%d locator misses on a clean render", fix.LocatorMisses())
+	}
+	if tv := fix.TV(); tv <= 0 || tv >= 1 {
+		t.Errorf("TV = %v", tv)
+	}
+}
+
+func TestFixImageFailsOnBlank(t *testing.T) {
+	c := testCodec(t)
+	f, err := c.EncodeFrame([]byte("x"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := f.Render()
+	img.Fill(img.At(0, 0))
+	if _, err := c.FixImage(img); err == nil {
+		t.Fatal("fix succeeded on a uniform image")
+	}
+}
+
+func TestAblationFlagsStillDecodeCleanRenders(t *testing.T) {
+	// Both decoder ablations must still handle the easy case — they
+	// degrade robustness, not correctness on undistorted input.
+	for _, flags := range []Config{
+		{DisableMiddleLocators: true},
+		{DisableLocationCorrection: true},
+	} {
+		flags.Geometry = testGeometry(t)
+		c, err := NewCodec(flags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := payloadFor(c, 3)
+		f, err := c.EncodeFrame(want, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := c.DecodeFrame(f.Render())
+		if err != nil {
+			t.Fatalf("flags %+v: %v", flags, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("flags %+v: payload mismatch", flags)
+		}
+	}
+}
+
+func TestAblationDegradesUnderDistortion(t *testing.T) {
+	// Under perspective the ablated decoders must localize worse than the
+	// full decoder (the quantitative version runs as experiment E12b).
+	cfg := channel.DefaultConfig()
+	cfg.ViewAngleDeg = 20
+	cfg.JitterPx = 0
+	cfg.NoiseStdDev = 0
+
+	measure := func(flags Config) float64 {
+		flags.Geometry = testGeometry(t)
+		c, err := NewCodec(flags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.EncodeFrame(payloadFor(c, 4), 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capt, err := channel.MustNew(cfg).Capture(f.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers, err := c.LocateCenters(capt)
+		if err != nil {
+			return math.Inf(1)
+		}
+		fwd, err := cfg.ForwardMap(capt.W, capt.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.Geometry()
+		var sum float64
+		for i, cell := range g.DataCells() {
+			x, y := g.BlockCenterPx(cell.Row, cell.Col)
+			sum += centers[i].Dist(fwd(pt2(x, y)))
+		}
+		return sum / float64(len(centers))
+	}
+
+	full := measure(Config{})
+	noMid := measure(Config{DisableMiddleLocators: true})
+	if noMid <= full {
+		t.Errorf("middle-column ablation did not degrade localization: %.2f vs %.2f", noMid, full)
+	}
+}
+
+// pt2 builds a geometry.Point for tests.
+func pt2(x, y float64) geometry.Point { return geometry.Point{X: x, Y: y} }
+
+func TestDecodeFrameTimedStagesAddUp(t *testing.T) {
+	c := testCodec(t)
+	f, err := c.EncodeFrame(payloadFor(c, 5), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, err := channel.MustNew(channel.DefaultConfig()).Capture(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, st, err := c.DecodeFrameTimed(capt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != c.FrameCapacity() {
+		t.Fatalf("payload %d bytes", len(payload))
+	}
+	for name, d := range map[string]float64{
+		"detect":  st.Detect.Seconds(),
+		"locate":  st.Locate.Seconds(),
+		"extract": st.Extract.Seconds(),
+		"correct": st.Correct.Seconds(),
+	} {
+		if d <= 0 {
+			t.Errorf("stage %s has no measured time", name)
+		}
+	}
+	if st.Total() != st.Detect+st.Locate+st.Extract+st.Correct {
+		t.Error("Total does not sum the stages")
+	}
+}

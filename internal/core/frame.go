@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core/header"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/crc"
+	"rainbar/internal/raster"
+)
+
+// Frame is one fully laid-out RainBar barcode: a color per grid cell.
+type Frame struct {
+	geo    *layout.Geometry
+	hdr    header.Header
+	colors []colorspace.Color // rows*cols, row-major
+}
+
+// Header returns the frame's header.
+func (f *Frame) Header() header.Header { return f.hdr }
+
+// ColorAt returns the color of grid cell (r, c).
+func (f *Frame) ColorAt(r, c int) colorspace.Color {
+	return f.colors[r*f.geo.Cols()+c]
+}
+
+// Render paints the frame at full screen resolution.
+func (f *Frame) Render() *raster.Image {
+	g := f.geo
+	bs := g.BlockSize()
+	img := raster.New(g.Cols()*bs, g.Rows()*bs)
+	for r := 0; r < g.Rows(); r++ {
+		for c := 0; c < g.Cols(); c++ {
+			img.FillRect(c*bs, r*bs, bs, bs, colorspace.Paint(f.ColorAt(r, c)))
+		}
+	}
+	return img
+}
+
+// EncodeFrame builds one frame carrying payload (at most FrameCapacity
+// bytes; shorter payloads are zero-padded). seq and last populate the
+// header; the tracking-bar color follows seq.
+func (c *Codec) EncodeFrame(payload []byte, seq uint16, last bool) (*Frame, error) {
+	if len(payload) > c.capacity {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), c.capacity)
+	}
+	if seq > header.MaxSeq {
+		return nil, fmt.Errorf("core: sequence %d out of range", seq)
+	}
+	padded := make([]byte, c.capacity)
+	copy(padded, payload)
+
+	stream, err := c.encodeStream(padded)
+	if err != nil {
+		return nil, err
+	}
+
+	hdr := header.Header{
+		Seq:           seq,
+		Last:          last,
+		DisplayRate:   c.cfg.DisplayRate,
+		AppType:       c.cfg.AppType,
+		FrameChecksum: crc.Sum16(padded),
+	}
+	return c.buildFrame(hdr, stream)
+}
+
+// encodeStream RS-encodes the padded payload into the frame's data-area
+// byte stream (exactly DataCapacityBytes long; trailing dead padding is
+// zero).
+func (c *Codec) encodeStream(padded []byte) ([]byte, error) {
+	g := c.cfg.Geometry
+	stream := make([]byte, 0, g.DataCapacityBytes())
+	off := 0
+	for _, k := range c.msgSizes {
+		msg, err := c.rsc.Encode(padded[off : off+k])
+		if err != nil {
+			return nil, fmt.Errorf("core encode: %w", err)
+		}
+		stream = append(stream, msg...)
+		off += k
+	}
+	for len(stream) < g.DataCapacityBytes() {
+		stream = append(stream, 0)
+	}
+	return stream, nil
+}
+
+// buildFrame paints every structural and data cell.
+func (c *Codec) buildFrame(hdr header.Header, stream []byte) (*Frame, error) {
+	g := c.cfg.Geometry
+	f := &Frame{
+		geo:    g,
+		hdr:    hdr,
+		colors: make([]colorspace.Color, g.Rows()*g.Cols()),
+	}
+	bar := hdr.TrackingBar()
+	for r := 0; r < g.Rows(); r++ {
+		for c2 := 0; c2 < g.Cols(); c2++ {
+			var col colorspace.Color
+			switch g.KindAt(r, c2) {
+			case layout.KindTrackingBar:
+				col = bar
+			case layout.KindCTCenter, layout.KindLocator:
+				col = colorspace.Black
+			case layout.KindCTRing:
+				if c2 < g.Cols()/2 { // left tracker
+					col = layout.CTRingColorLeft
+				} else {
+					col = layout.CTRingColorRight
+				}
+			default:
+				col = colorspace.White // overwritten below for header/data
+			}
+			f.colors[r*g.Cols()+c2] = col
+		}
+	}
+
+	hdrColors, err := hdr.EncodeColors(len(g.HeaderCells()))
+	if err != nil {
+		return nil, fmt.Errorf("core encode: %w", err)
+	}
+	for i, cell := range g.HeaderCells() {
+		f.colors[cell.Row*g.Cols()+cell.Col] = hdrColors[i]
+	}
+
+	dataCells := g.DataCells()
+	for i, cell := range dataCells {
+		byteIdx := i / 4
+		shift := uint(6 - 2*(i%4))
+		var bits byte
+		if byteIdx < len(stream) {
+			bits = stream[byteIdx] >> shift
+		}
+		f.colors[cell.Row*g.Cols()+cell.Col] = colorspace.FromBits(bits)
+	}
+	return f, nil
+}
+
+// EncodeAll splits data into consecutive frames. Sequence numbers start at
+// startSeq and the final frame carries the Last flag.
+func (c *Codec) EncodeAll(data []byte, startSeq uint16) ([]*Frame, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty payload")
+	}
+	n := (len(data) + c.capacity - 1) / c.capacity
+	frames := make([]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * c.capacity
+		hi := lo + c.capacity
+		if hi > len(data) {
+			hi = len(data)
+		}
+		seq := (startSeq + uint16(i)) & header.MaxSeq
+		f, err := c.EncodeFrame(data[lo:hi], seq, i == n-1)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// decodePayload reverses encodeStream: split the data-area stream into RS
+// messages, correct each, and verify the header's frame checksum. suspect
+// marks stream bytes containing black-misread cells; they are passed to
+// RS as erasures when few enough to help (erasures beyond the parity
+// budget would guarantee failure, so a message with too many falls back
+// to errors-only decoding).
+func (c *Codec) decodePayload(stream []byte, suspect []bool, want uint16) ([]byte, error) {
+	payload := make([]byte, 0, c.capacity)
+	off := 0
+	for _, k := range c.msgSizes {
+		n := k + c.cfg.RSParity
+		var erasures []int
+		if suspect != nil {
+			for j := 0; j < n; j++ {
+				if suspect[off+j] {
+					erasures = append(erasures, j)
+				}
+			}
+			if len(erasures) > c.cfg.RSParity-2 {
+				erasures = nil
+			}
+		}
+		data, err := c.rsc.Decode(stream[off:off+n], erasures)
+		if err != nil && erasures != nil {
+			// The erasure guesses may themselves be wrong; retry blind.
+			data, err = c.rsc.Decode(stream[off:off+n], nil)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		payload = append(payload, data...)
+		off += n
+	}
+	if crc.Sum16(payload) != want {
+		return nil, fmt.Errorf("%w: frame checksum mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}

@@ -1,0 +1,225 @@
+// Package header implements the RainBar frame header (paper Fig. 5): a
+// 72-bit structure carrying the sequence number, display rate and
+// application type of a frame plus a whole-frame checksum, with every
+// 16-bit group protected by its own CRC-8 ("due to the importance of
+// header information, we adopt a 8-bit CRC for every 16-bit data").
+//
+// The most significant bit of the sequence number flags the last frame of
+// a file; the low 2 bits select the tracking-bar color.
+package header
+
+import (
+	"errors"
+	"fmt"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/crc"
+)
+
+// Bits is the encoded header length in bits; Blocks the number of 2-bit
+// color blocks it occupies.
+const (
+	Bits   = 72
+	Blocks = Bits / colorspace.BitsPerBlock
+)
+
+// MaxSeq is the largest representable sequence number (15 bits; the MSB is
+// the last-frame flag).
+const MaxSeq = 1<<15 - 1
+
+// ErrCorrupt is returned when any of the header's CRC-8 fields fails.
+var ErrCorrupt = errors.New("header: CRC mismatch")
+
+// Header is the decoded per-frame metadata.
+type Header struct {
+	// Seq is the frame sequence number (0..MaxSeq).
+	Seq uint16
+	// Last flags the final frame of a data transfer.
+	Last bool
+	// DisplayRate is the sender's display rate in fps.
+	DisplayRate uint8
+	// AppType identifies the application payload class (see transport).
+	AppType uint8
+	// FrameChecksum is the CRC-16 of the frame's full encoded payload
+	// stream; the decoder uses it to verify the frame after RS repair
+	// ("the head checksum is used to check the integrity of the whole
+	// frame").
+	FrameChecksum uint16
+}
+
+// Validate reports structural errors.
+func (h Header) Validate() error {
+	if h.Seq > MaxSeq {
+		return fmt.Errorf("header: sequence %d exceeds 15 bits", h.Seq)
+	}
+	return nil
+}
+
+// TrackingBar returns the tracking-bar color this frame must use.
+func (h Header) TrackingBar() colorspace.Color {
+	return colorspace.FromBits(byte(h.Seq))
+}
+
+// Encode packs the header into its 9-byte wire form:
+//
+//	seq(2) crc8(1) rate(1) app(1) crc8(1) checksum(2) crc8(1)
+func (h Header) Encode() ([Bits / 8]byte, error) {
+	var out [Bits / 8]byte
+	if err := h.Validate(); err != nil {
+		return out, err
+	}
+	seq := h.Seq
+	if h.Last {
+		seq |= 1 << 15
+	}
+	out[0] = byte(seq >> 8)
+	out[1] = byte(seq)
+	out[2] = crc.Sum8(out[0:2])
+	out[3] = h.DisplayRate
+	out[4] = h.AppType
+	out[5] = crc.Sum8(out[3:5])
+	out[6] = byte(h.FrameChecksum >> 8)
+	out[7] = byte(h.FrameChecksum)
+	out[8] = crc.Sum8(out[6:8])
+	return out, nil
+}
+
+// Decode parses and verifies a 9-byte wire header. A CRC failure in any
+// group returns ErrCorrupt.
+func Decode(b [Bits / 8]byte) (Header, error) {
+	if !crc.Check8(b[0:2], b[2]) || !crc.Check8(b[3:5], b[5]) || !crc.Check8(b[6:8], b[8]) {
+		return Header{}, ErrCorrupt
+	}
+	seq := uint16(b[0])<<8 | uint16(b[1])
+	return Header{
+		Seq:           seq & MaxSeq,
+		Last:          seq&(1<<15) != 0,
+		DisplayRate:   b[3],
+		AppType:       b[4],
+		FrameChecksum: uint16(b[6])<<8 | uint16(b[7]),
+	}, nil
+}
+
+// EncodeColors maps the header onto 2-bit color symbols, most significant
+// bits first. If room > Blocks, the header repeats cyclically to fill the
+// strip, giving the decoder redundancy for free.
+func (h Header) EncodeColors(room int) ([]colorspace.Color, error) {
+	wire, err := h.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if room < Blocks {
+		return nil, fmt.Errorf("header: strip of %d blocks cannot hold %d header blocks", room, Blocks)
+	}
+	out := make([]colorspace.Color, room)
+	for i := range out {
+		j := i % Blocks
+		shift := uint(6 - 2*(j%4))
+		out[i] = colorspace.FromBits(wire[j/4] >> shift)
+	}
+	return out, nil
+}
+
+// The header's three independently-CRC'd units (byte ranges of the wire
+// form): sequence, rate+type, frame checksum. Each unit spans 12 blocks.
+var headerUnits = [3][2]int{{0, 3}, {3, 6}, {6, 9}}
+
+// unitBlocks is the number of 2-bit blocks per unit (3 bytes).
+const unitBlocks = 12
+
+// DecodeColors recovers a header from the color strip. Because every unit
+// carries its own CRC-8, units decode independently: each unit is taken
+// from the first strip repetition where it verifies, and a unit failing in
+// every copy is repaired by exhaustive single-symbol substitution (12·3
+// cheap CRC trials per copy). This survives one misread block per unit
+// per copy — the regime dim, noisy captures actually produce — while a
+// whole-copy CRC gate would discard the lot. Unrecoverable units return
+// ErrCorrupt.
+func DecodeColors(strip []colorspace.Color) (Header, error) {
+	if len(strip) < Blocks {
+		return Header{}, fmt.Errorf("header: strip of %d blocks shorter than %d", len(strip), Blocks)
+	}
+	nCopies := len(strip) / Blocks
+
+	var wire [Bits / 8]byte
+	for u, span := range headerUnits {
+		bytes, ok := decodeUnit(strip, nCopies, u)
+		if !ok {
+			return Header{}, ErrCorrupt
+		}
+		copy(wire[span[0]:span[1]], bytes)
+	}
+	return Decode(wire)
+}
+
+// decodeUnit recovers one 3-byte unit, trying clean copies first, then
+// single-symbol repair per copy, then two-symbol repair. Two flipped
+// blocks per unit is the common failure at low-redundancy strip widths;
+// the CRC-8 leaves a ~0.4% false-accept chance per trial, which the
+// receiver's tracking-bar consistency check and header voting absorb.
+func decodeUnit(strip []colorspace.Color, nCopies, unit int) ([]byte, bool) {
+	seg := func(c int) []colorspace.Color {
+		return strip[c*Blocks+unit*unitBlocks : c*Blocks+(unit+1)*unitBlocks]
+	}
+	for c := 0; c < nCopies; c++ {
+		if b, ok := packUnit(seg(c)); ok && crc.Check8(b[:2], b[2]) {
+			return b, true
+		}
+	}
+	repaired := make([]colorspace.Color, unitBlocks)
+	// Single-symbol repair across all copies first: more likely correct
+	// than any two-symbol combination.
+	for c := 0; c < nCopies; c++ {
+		s := seg(c)
+		for i := 0; i < unitBlocks; i++ {
+			copy(repaired, s)
+			for sub := colorspace.Color(0); sub < colorspace.NumDataColors; sub++ {
+				if sub == s[i] {
+					continue
+				}
+				repaired[i] = sub
+				if b, ok := packUnit(repaired); ok && crc.Check8(b[:2], b[2]) {
+					return b, true
+				}
+			}
+		}
+	}
+	for c := 0; c < nCopies; c++ {
+		s := seg(c)
+		for i := 0; i < unitBlocks; i++ {
+			for j := i + 1; j < unitBlocks; j++ {
+				copy(repaired, s)
+				for si := colorspace.Color(0); si < colorspace.NumDataColors; si++ {
+					if si == s[i] {
+						continue
+					}
+					repaired[i] = si
+					for sj := colorspace.Color(0); sj < colorspace.NumDataColors; sj++ {
+						if sj == s[j] {
+							continue
+						}
+						repaired[j] = sj
+						if b, ok := packUnit(repaired); ok && crc.Check8(b[:2], b[2]) {
+							return b, true
+						}
+					}
+					repaired[j] = s[j]
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// packUnit packs 12 blocks into the unit's 3 bytes; false when any block
+// is non-data (black misread).
+func packUnit(seg []colorspace.Color) ([]byte, bool) {
+	b := make([]byte, 3)
+	for i, c := range seg {
+		if !c.IsData() {
+			return nil, false
+		}
+		b[i/4] |= c.Bits() << uint(6-2*(i%4))
+	}
+	return b, true
+}

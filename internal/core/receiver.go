@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core/header"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/raster"
+)
+
+// Receiver reassembles logical frames from a stream of captures, solving
+// the §III-D synchronization problem: when the display rate exceeds half
+// the capture rate, each capture holds the top of frame i and the bottom
+// of frame i+1; the per-row tracking bars say which rows belong to whom.
+// It also performs blur assessment: when several captures contribute the
+// same row of the same frame (f_d <= f_c/2), the sharpest capture wins.
+//
+// A Receiver is not safe for concurrent use.
+type Receiver struct {
+	codec *Codec
+	// DisableSync ignores tracking bars and treats every capture as one
+	// whole frame — the E16 ablation (COBRA-like behavior).
+	DisableSync bool
+
+	partial map[uint16]*partialFrame
+	done    map[uint16]*DecodedFrame
+
+	// lastTop is the most recent top-frame sequence read from a valid
+	// header; it anchors sequence inference for captures whose header row
+	// was destroyed (e.g. blended by an LCD transition).
+	lastTop    uint16
+	lastTopSet bool
+}
+
+// partialFrame accumulates rows of one logical frame across captures.
+type partialFrame struct {
+	// hdrVotes tallies the header values observed for this frame across
+	// captures. Majority wins: a header fabricated from a blended strip
+	// (single-symbol repair can produce a CRC-valid but wrong header) is
+	// outvoted by the genuine copies from clean captures.
+	hdrVotes map[header.Header]int
+	// cellVotes accumulates sharpness-weighted votes per data cell and
+	// color. Voting across captures is what makes reassembly robust: a
+	// single capture whose rows passed the bar checks but were degraded
+	// (LCD-blend band, noise burst) is outvoted by the clean captures of
+	// the same rows instead of overwriting them.
+	cellVotes [][colorspace.NumDataColors]float64
+	rowFilled []bool
+}
+
+// vote records one observation of cell i.
+func (pf *partialFrame) vote(i int, c colorspace.Color, weight float64) {
+	if c.IsData() {
+		pf.cellVotes[i][c] += weight
+	}
+}
+
+// cells materializes the majority color per cell (White where no votes).
+func (pf *partialFrame) cellsByVote() []colorspace.Color {
+	out := make([]colorspace.Color, len(pf.cellVotes))
+	for i := range pf.cellVotes {
+		best := colorspace.White
+		bestW := 0.0
+		for c := 0; c < colorspace.NumDataColors; c++ {
+			if w := pf.cellVotes[i][c]; w > bestW {
+				bestW = w
+				best = colorspace.Color(c)
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func (pf *partialFrame) addHeaderVote(h header.Header) {
+	pf.hdrVotes[h]++
+}
+
+// header returns the majority header, or false when none was observed.
+// Ties break toward the lower checksum for determinism.
+func (pf *partialFrame) header() (header.Header, bool) {
+	var best header.Header
+	bestN := 0
+	for h, n := range pf.hdrVotes {
+		if n > bestN || (n == bestN && h.FrameChecksum < best.FrameChecksum) {
+			best = h
+			bestN = n
+		}
+	}
+	return best, bestN > 0
+}
+
+// DecodedFrame is one reassembled frame.
+type DecodedFrame struct {
+	Header  header.Header
+	Payload []byte // nil if error correction failed
+	Err     error  // non-nil when Payload is nil
+}
+
+// NewReceiver creates a receiver for the codec's format.
+func NewReceiver(c *Codec) *Receiver {
+	return &Receiver{
+		codec:   c,
+		partial: make(map[uint16]*partialFrame),
+		done:    make(map[uint16]*DecodedFrame),
+	}
+}
+
+// Ingest processes one captured image. Captures whose corner trackers
+// cannot be found are skipped with the error returned; the stream
+// continues (the sender will retransmit what never completes). Captures
+// with an unreadable header are still mined for rows when the sequence
+// can be inferred from the tracking bars and the last known sequence.
+func (rx *Receiver) Ingest(img *raster.Image) error {
+	gd, err := rx.codec.DecodeGridLoose(img)
+	if err != nil {
+		return err
+	}
+	if rx.DisableSync {
+		if !gd.HeaderOK {
+			return fmt.Errorf("core: header unreadable: %w", header.ErrCorrupt)
+		}
+		rx.ingestWholeFrame(gd)
+		return nil
+	}
+
+	// A genuine header's frame owns the top of the capture, so the first
+	// readable tracking bar must be consistent with it. A header decoded
+	// from an LCD-blend region (possibly fabricated by the CRC-trial
+	// repair) fails this check and is demoted to the inference path.
+	headerTrusted := gd.HeaderOK
+	if headerTrusted {
+		for r := range gd.BarColors {
+			if !gd.BarOK[r] {
+				continue
+			}
+			headerTrusted = gd.RowOwnerFor(r, gd.Header.Seq) >= 0
+			break
+		}
+	}
+	// Sequence plausibility: a stream advances monotonically, so a header
+	// claiming a sequence far from the last known one is a fabrication
+	// whose low bits happened to match the bars (the bar check alone
+	// cannot catch those). Such captures fall back to bar inference.
+	if headerTrusted && rx.lastTopSet {
+		forward := (gd.Header.Seq - rx.lastTop) & header.MaxSeq
+		backward := (rx.lastTop - gd.Header.Seq) & header.MaxSeq
+		if forward > 16 && backward > 2 {
+			headerTrusted = false
+		}
+	}
+
+	seqTop := gd.Header.Seq
+	if !headerTrusted {
+		inferred, ok := rx.inferSeq(gd)
+		if !ok {
+			return fmt.Errorf("core: header unreadable and sequence not inferable: %w", header.ErrCorrupt)
+		}
+		seqTop = inferred
+	}
+
+	// Only captures with a majority of attributable rows are worth
+	// ingesting; the unowned minority (blend rows, bar misreads) is simply
+	// skipped and supplied by other captures.
+	if rx.badRows(gd, seqTop) > rx.codec.cfg.Geometry.Rows()/2 {
+		return ErrInconsistentBars
+	}
+
+	g := rx.codec.cfg.Geometry
+	seqBot := (seqTop + 1) & header.MaxSeq
+
+	// LCD transitions blend the two frames in a band centered on the
+	// ownership boundary. Bars inside the band often still classify
+	// consistently toward one side while the data cells are mixtures, so
+	// every row within blendGuard of an owner transition (or adjacent to
+	// an unreadable-bar row) is rejected; other captures, whose boundary
+	// sits elsewhere, supply those rows cleanly.
+	owners := make([]int, g.Rows())
+	for r := range owners {
+		owners[r] = gd.RowOwnerFor(r, seqTop)
+	}
+	blendGuard := g.Rows()/6 + 1
+	// suspectWeight is the vote discount for blend-adjacent rows: low
+	// enough that a single clean capture of the same row always outvotes
+	// them, high enough that they still beat nothing when they are a
+	// row's only source.
+	const suspectWeight = 0.05
+	weight := make([]float64, g.Rows())
+	for r := range weight {
+		weight[r] = 1
+	}
+	mark := func(r, span int) {
+		for d := -span; d <= span; d++ {
+			if r+d >= 0 && r+d < g.Rows() {
+				weight[r+d] = suspectWeight
+			}
+		}
+	}
+	prevOwner := -2
+	for r, o := range owners {
+		if o < 0 {
+			mark(r, 1)
+			continue
+		}
+		if prevOwner >= 0 && o != prevOwner {
+			mark(r, blendGuard)
+		}
+		prevOwner = o
+	}
+
+	// Distribute each data cell to its owning logical frame by row,
+	// accumulating sharpness- and suspicion-weighted votes.
+	for i, cell := range g.DataCells() {
+		owner := owners[cell.Row]
+		if owner < 0 {
+			continue
+		}
+		seq := seqTop
+		if owner == 1 {
+			seq = seqBot
+		}
+		pf := rx.getPartial(seq)
+		pf.vote(i, gd.Cells[i], gd.Sharpness*weight[cell.Row])
+		if weight[cell.Row] == 1 {
+			pf.rowFilled[cell.Row] = true
+		}
+	}
+
+	// The header row is owned by the top frame.
+	if headerTrusted {
+		rx.getPartial(seqTop).addHeaderVote(gd.Header)
+		rx.lastTop = seqTop
+		rx.lastTopSet = true
+	}
+
+	rx.tryComplete(seqTop)
+	rx.tryComplete(seqBot)
+	return nil
+}
+
+// badRows counts rows with tracking bars inconsistent with the given
+// top-frame sequence.
+func (rx *Receiver) badRows(gd *GridDecode, seqTop uint16) int {
+	bad := 0
+	for r := range gd.BarColors {
+		if gd.RowOwnerFor(r, seqTop) < 0 {
+			bad++
+		}
+	}
+	return bad
+}
+
+// inferSeq recovers the top-frame sequence of a header-less capture: the
+// tracking-bar color of its top rows pins the sequence modulo 4, and the
+// last header-bearing capture anchors which multiple of 4 is in flight.
+// It fails when no header has been seen yet or the bars are too noisy.
+func (rx *Receiver) inferSeq(gd *GridDecode) (uint16, bool) {
+	if !rx.lastTopSet {
+		return 0, false
+	}
+	// Top-most attributable bar color.
+	topColor := colorspace.Black
+	for r := range gd.BarColors {
+		if gd.BarOK[r] {
+			topColor = gd.BarColors[r]
+			break
+		}
+	}
+	if !topColor.IsData() {
+		return 0, false
+	}
+	// The display never goes backwards: the capture's top frame is the
+	// last known top or up to 3 frames later (one full bar cycle).
+	for off := uint16(0); off < 4; off++ {
+		cand := (rx.lastTop + off) & header.MaxSeq
+		if layout.TrackingBarColor(cand) != topColor {
+			continue
+		}
+		if rx.badRows(gd, cand) <= len(gd.BarColors)/4 {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// ingestWholeFrame is the no-sync ablation path: the entire capture is
+// attributed to the header's frame.
+func (rx *Receiver) ingestWholeFrame(gd *GridDecode) {
+	seq := gd.Header.Seq
+	if _, ok := rx.done[seq]; ok {
+		return
+	}
+	pf := rx.getPartial(seq)
+	pf.hdrVotes[gd.Header]++
+	for i := range gd.Cells {
+		pf.vote(i, gd.Cells[i], gd.Sharpness)
+	}
+	for r := range pf.rowFilled {
+		pf.rowFilled[r] = true
+	}
+	// Without sync there is no notion of "complete": decode immediately,
+	// and let later captures keep voting if this attempt fails.
+	hdr, _ := pf.header()
+	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+	if err == nil {
+		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
+		delete(rx.partial, seq)
+	}
+}
+
+func (rx *Receiver) getPartial(seq uint16) *partialFrame {
+	if pf, ok := rx.partial[seq]; ok {
+		return pf
+	}
+	g := rx.codec.cfg.Geometry
+	pf := &partialFrame{
+		hdrVotes:  make(map[header.Header]int),
+		cellVotes: make([][colorspace.NumDataColors]float64, len(g.DataCells())),
+		rowFilled: make([]bool, g.Rows()),
+	}
+	rx.partial[seq] = pf
+	return pf
+}
+
+// tryComplete decodes a partial frame once every data row has been seen
+// and its header is known. A failed attempt keeps the partial frame open:
+// further captures keep voting and may heal it (only Flush records
+// failures, at stream end).
+func (rx *Receiver) tryComplete(seq uint16) {
+	pf, ok := rx.partial[seq]
+	if !ok {
+		return
+	}
+	hdr, hdrKnown := pf.header()
+	if !hdrKnown {
+		return
+	}
+	if _, ok := rx.done[seq]; ok {
+		return
+	}
+	for _, cell := range rx.codec.cfg.Geometry.DataCells() {
+		if !pf.rowFilled[cell.Row] {
+			return
+		}
+	}
+	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+	if err != nil {
+		return
+	}
+	rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
+	delete(rx.partial, seq)
+}
+
+// Flush force-decodes every partial frame that has a header, even with
+// missing rows (missing cells decode as white/00 and are left to RS).
+// Call after the capture stream ends.
+func (rx *Receiver) Flush() {
+	for seq, pf := range rx.partial {
+		hdr, hdrKnown := pf.header()
+		if !hdrKnown {
+			continue
+		}
+		if _, ok := rx.done[seq]; ok {
+			continue
+		}
+		payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload, Err: err}
+		delete(rx.partial, seq)
+	}
+}
+
+// Frames returns every completed frame in sequence order.
+func (rx *Receiver) Frames() []*DecodedFrame {
+	seqs := make([]int, 0, len(rx.done))
+	for s := range rx.done {
+		seqs = append(seqs, int(s))
+	}
+	sort.Ints(seqs)
+	out := make([]*DecodedFrame, 0, len(seqs))
+	for _, s := range seqs {
+		out = append(out, rx.done[uint16(s)])
+	}
+	return out
+}
+
+// Frame returns the completed frame with the given sequence number, if any.
+func (rx *Receiver) Frame(seq uint16) (*DecodedFrame, bool) {
+	f, ok := rx.done[seq]
+	return f, ok
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/geometry"
+	"rainbar/internal/workload"
+)
+
+// LocalizationAblation quantifies the two §III-E design choices the paper
+// argues for with Figs. 3/4: the middle locator column and the K-means
+// location-correction iteration. Under strong distortion, disabling
+// either must raise the mean block-center error toward COBRA territory.
+func LocalizationAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "loc-ablation",
+		Title:   "Mean block-center error (px) with RainBar's localization features ablated",
+		Columns: []string{"condition", "full", "no_mid_column", "no_correction"},
+		Notes: []string{
+			"Fig. 4's claim: the middle locator column halves the interpolation span;",
+			"§III-E's claim: centroid correction stops per-step drift from accumulating down a column",
+		},
+	}
+	conditions := []struct {
+		name string
+		mut  func(*channel.Config)
+	}{
+		{"angle 15, mild lens", func(c *channel.Config) { c.ViewAngleDeg = 15 }},
+		{"angle 25, strong lens", func(c *channel.Config) { c.ViewAngleDeg = 25; c.LensK1, c.LensK2 = 0.05, 0.008 }},
+	}
+	for i, cond := range conditions {
+		cfg := baseChannel()
+		cfg.JitterPx = 0
+		cfg.NoiseStdDev = 1
+		cond.mut(&cfg)
+
+		full, err := rainbarLocError(o, cfg, core.Config{}, seedAt(o.Seed, i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("ablation full %q: %w", cond.name, err)
+		}
+		noMid, err := rainbarLocError(o, cfg, core.Config{DisableMiddleLocators: true}, seedAt(o.Seed, i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("ablation no-mid %q: %w", cond.name, err)
+		}
+		noCorr, err := rainbarLocError(o, cfg, core.Config{DisableLocationCorrection: true}, seedAt(o.Seed, i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("ablation no-correction %q: %w", cond.name, err)
+		}
+		t.AddRow(cond.name, full, noMid, noCorr)
+	}
+	return t, nil
+}
+
+// rainbarLocError measures RainBar's mean block-center error against the
+// channel's exact forward map, with the given decoder feature flags.
+func rainbarLocError(o Options, cfg channel.Config, flags core.Config, seed int64) (float64, error) {
+	fwd, err := cfg.ForwardMap(o.Scale.ScreenW, o.Scale.ScreenH)
+	if err != nil {
+		return 0, err
+	}
+	geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, defaultBlock)
+	if err != nil {
+		return 0, err
+	}
+	flags.Geometry = geo
+	codec, err := core.NewCodec(flags)
+	if err != nil {
+		return 0, err
+	}
+	// Average across several frames; individual captures may defeat
+	// detection at extreme distortion (that is COBRA-grade failure, not a
+	// harness error), so only an all-attempts failure aborts.
+	const attempts = 4
+	var total float64
+	measured := 0
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		f, err := codec.EncodeFrame(workload.Random(codec.FrameCapacity(), seed+int64(a)), uint16(a), false)
+		if err != nil {
+			return 0, err
+		}
+		capCfg := cfg
+		capCfg.Seed = seed + int64(a)
+		ch, err := channel.New(capCfg)
+		if err != nil {
+			return 0, err
+		}
+		capt, err := ch.Capture(f.Render())
+		if err != nil {
+			return 0, err
+		}
+		centers, err := codec.LocateCenters(capt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var sum float64
+		for i, cell := range geo.DataCells() {
+			x, y := geo.BlockCenterPx(cell.Row, cell.Col)
+			truth := fwd(geometry.Point{X: x, Y: y})
+			sum += centers[i].Dist(truth)
+		}
+		total += sum / float64(len(centers))
+		measured++
+	}
+	if measured == 0 {
+		return 0, fmt.Errorf("locate failed on all %d attempts: %w", attempts, lastErr)
+	}
+	return total / float64(measured), nil
+}

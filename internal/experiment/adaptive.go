@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/sensor"
+	"rainbar/internal/workload"
+)
+
+// AdaptiveBlockSize evaluates the §III-A adaptive configuration: the
+// sender classifies its mobility from (synthetic) accelerometer windows
+// and picks the block size before data mapping. Under the motion blur of
+// each regime, the adaptive choice must decode while a fixed small block
+// — optimal when still — degrades as motion grows.
+func AdaptiveBlockSize(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "adaptive",
+		Title:   "Adaptive block size vs fixed-small under motion (error rate)",
+		Columns: []string{"regime", "motion_blur_px", "adaptive_block", "adaptive_err", "fixed10_err"},
+		Notes: []string{
+			"§III-A: mobility-adapted block size trades capacity for robustness exactly when motion demands it",
+		},
+	}
+	policy := sensor.BlockSizePolicy{Min: 10, Max: 14}
+	cfgr, err := sensor.NewAdaptiveConfigurator(policy, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	regimes := []struct {
+		mobility sensor.Mobility
+		blurPx   int
+	}{
+		{sensor.MobilityStill, 0},
+		{sensor.MobilityHandheld, 3},
+		{sensor.MobilityWalking, 6},
+	}
+	for i, reg := range regimes {
+		trace := sensor.NewTrace(reg.mobility, seedAt(o.Seed, i, 0))
+		for w := 0; w < 3; w++ { // let the regime estimate settle
+			cfgr.Observe(trace.Window(200, 0.02))
+		}
+		adaptiveBlock := cfgr.BlockSize()
+
+		cfg := errChannel()
+		cfg.MotionBlurPx = reg.blurPx
+
+		adaptiveErr, err := rainbarErrAt(o, cfg, adaptiveBlock, seedAt(o.Seed, i, 1))
+		if err != nil {
+			return nil, fmt.Errorf("adaptive %v: %w", reg.mobility, err)
+		}
+		fixedErr, err := rainbarErrAt(o, cfg, policy.Min, seedAt(o.Seed, i, 1))
+		if err != nil {
+			return nil, fmt.Errorf("fixed %v: %w", reg.mobility, err)
+		}
+		t.AddRow(reg.mobility.String(), reg.blurPx, adaptiveBlock, adaptiveErr, fixedErr)
+	}
+	return t, nil
+}
+
+// rainbarErrAt measures RainBar's raw block error rate at one block size
+// and channel condition.
+func rainbarErrAt(o Options, cfg channel.Config, blockSize int, seed int64) (float64, error) {
+	geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, blockSize)
+	if err != nil {
+		return 0, err
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo})
+	if err != nil {
+		return 0, err
+	}
+	cfg.Seed = seed
+	ch, err := channel.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var wrong, total int
+	for i := 0; i < o.Scale.Frames; i++ {
+		payload := workload.Random(codec.FrameCapacity(), seed+int64(i))
+		f, err := codec.EncodeFrame(payload, uint16(i), false)
+		if err != nil {
+			return 0, err
+		}
+		capt, err := ch.Capture(f.Render())
+		if err != nil {
+			return 0, err
+		}
+		gd, err := codec.DecodeGridLoose(capt)
+		cells := geo.DataCells()
+		if err != nil {
+			wrong += len(cells)
+			total += len(cells)
+			continue
+		}
+		for j, cell := range cells {
+			if gd.Cells[j] != f.ColorAt(cell.Row, cell.Col) {
+				wrong++
+			}
+		}
+		total += len(cells)
+	}
+	return float64(wrong) / float64(total), nil
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"bytes"
+	"math/rand"
+	"time"
+
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/geometry"
+	"rainbar/internal/raster"
+	"rainbar/internal/screen"
+)
+
+// pt builds a geometry.Point (keeps experiment code terse).
+func pt(x, y float64) geometry.Point { return geometry.Point{X: x, Y: y} }
+
+// cameraDefault returns the paper's receiver camera.
+func cameraDefault() camera.Camera { return camera.Default() }
+
+// runStreamSync runs the RainBar stream pipeline with the tracking-bar
+// synchronization optionally disabled (the E16 ablation) and returns the
+// decoding rate.
+func runStreamSync(o Options, fps float64, disableSync bool, seed int64) (float64, error) {
+	geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, defaultBlock)
+	if err != nil {
+		return 0, err
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(fps)})
+	if err != nil {
+		return 0, err
+	}
+	cfg := baseChannel()
+	cfg.Seed = seed
+	ch, err := channel.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Warmup/cooldown frames bracket the measured window (see RunStream).
+	n := o.Scale.Frames
+	total := n + 2
+	payloads := make([][]byte, total)
+	frames := make([]*raster.Image, total)
+	for i := 0; i < total; i++ {
+		payloads[i] = make([]byte, codec.FrameCapacity())
+		rng.Read(payloads[i])
+		f, err := codec.EncodeFrame(payloads[i], uint16(i), false)
+		if err != nil {
+			return 0, err
+		}
+		frames[i] = f.Render()
+	}
+	disp, err := screen.NewDisplay(frames, fps, 0)
+	if err != nil {
+		return 0, err
+	}
+	disp.Transition = screen.DefaultTransition
+	cam := cameraDefault()
+	cam.TimingJitter = 3 * time.Millisecond
+	cam.Seed = seed
+	cam.Phase = time.Duration(seed%23) * time.Millisecond
+	caps, err := cam.Film(disp, ch)
+	if err != nil {
+		return 0, err
+	}
+	rx := core.NewReceiver(codec)
+	rx.DisableSync = disableSync
+	for i := range caps {
+		_ = rx.Ingest(caps[i].Image)
+	}
+	rx.Flush()
+
+	recovered := 0
+	for i := 1; i <= n; i++ {
+		f, ok := rx.Frame(uint16(i))
+		if ok && f.Err == nil && bytes.Equal(f.Payload, payloads[i]) {
+			recovered += len(payloads[i])
+		}
+	}
+	return float64(recovered) / float64(n*codec.FrameCapacity()), nil
+}
+
+// All runs every experiment at the given options and returns the tables in
+// report order. Experiments that model different artifacts run
+// independently; a failure in one aborts the suite (they share no state).
+func All(o Options) ([]*Table, error) {
+	var out []*Table
+	add := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	if err := add(CapacityAnalysis(o)); err != nil {
+		return nil, err
+	}
+	if err := add(LocalizationError(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig10aDistance(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig10bViewAngle(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig10cBlockSize(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig10dBrightness(o)); err != nil {
+		return nil, err
+	}
+	ta, tb, err := Fig11DisplayRate(o)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ta, tb)
+	if err := add(Fig11cBlockSize(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Table1Throughput(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig12aBlockSize(o)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig12bDisplayRate(o)); err != nil {
+		return nil, err
+	}
+	if err := add(DecodeTime(o)); err != nil {
+		return nil, err
+	}
+	if err := add(TextTransfer(o)); err != nil {
+		return nil, err
+	}
+	if err := add(HSVvsRGB(o)); err != nil {
+		return nil, err
+	}
+	if err := add(SyncAblation(o)); err != nil {
+		return nil, err
+	}
+	if err := add(LightSyncComparison(o)); err != nil {
+		return nil, err
+	}
+	if err := add(AlphabetRobustness(o)); err != nil {
+		return nil, err
+	}
+	if err := add(LocalizationAblation(o)); err != nil {
+		return nil, err
+	}
+	if err := add(AdaptiveBlockSize(o)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/lightsync"
+	"rainbar/internal/raster"
+	"rainbar/internal/screen"
+)
+
+// LightSyncComparison measures RainBar against the LightSync-style B/W
+// baseline (paper §I/§II): LightSync's per-line counters survive display
+// rates right up to the capture rate, but its one-bit alphabet halves the
+// per-frame capacity — so RainBar wins on throughput wherever both decode.
+func LightSyncComparison(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "lightsync",
+		Title:   "RainBar vs LightSync (B/W, per-line sync): decoding rate and throughput vs display rate",
+		Columns: []string{"fps", "rainbar_decrate", "lightsync_decrate", "rainbar_Bps", "lightsync_Bps"},
+		Notes: []string{
+			"paper positioning (§I): LightSync syncs at high display rates but only with black-and-white blocks;",
+			"RainBar matches the synchronization with tracking bars while keeping the 2-bit color alphabet",
+		},
+	}
+	for i, fps := range []float64{10, 16, 22, 28} {
+		rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+		if err != nil {
+			return nil, fmt.Errorf("lightsync comparison rainbar fps=%v: %w", fps, err)
+		}
+		lsDec, lsBps, err := runLightSyncStream(o, fps, seedAt(o.Seed, i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("lightsync comparison fps=%v: %w", fps, err)
+		}
+		t.AddRow(fps, rb.DecodingRate, lsDec, rb.ThroughputBps, lsBps)
+	}
+	return t, nil
+}
+
+// runLightSyncStream is the LightSync analogue of RunStream.
+func runLightSyncStream(o Options, fps float64, seed int64) (decRate, throughput float64, err error) {
+	codec, err := lightsync.NewCodec(lightsync.Config{
+		ScreenW: o.Scale.ScreenW, ScreenH: o.Scale.ScreenH, BlockSize: defaultBlock,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := streamChannel()
+	cfg.Seed = seed
+	ch, err := channel.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Warmup/cooldown frames bracket the measured window (see RunStream).
+	n := o.Scale.Frames
+	total := n + 2
+	payloads := make([][]byte, total)
+	frames := make([]*raster.Image, total)
+	for i := 0; i < total; i++ {
+		payloads[i] = make([]byte, codec.FrameCapacity())
+		rng.Read(payloads[i])
+		f, err := codec.EncodeFrame(payloads[i], uint16(i))
+		if err != nil {
+			return 0, 0, err
+		}
+		frames[i] = f.Render()
+	}
+	disp, err := screen.NewDisplay(frames, fps, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	disp.Transition = screen.DefaultTransition
+	cam := cameraDefault()
+	cam.TimingJitter = 3 * time.Millisecond
+	cam.Seed = seed
+	cam.Phase = time.Duration(seed%23) * time.Millisecond
+	caps, err := cam.Film(disp, ch)
+	if err != nil {
+		return 0, 0, err
+	}
+	rx := lightsync.NewReceiver(codec)
+	for i := range caps {
+		_ = rx.Ingest(caps[i].Image)
+	}
+	rx.Flush()
+
+	recovered := 0
+	for i := 1; i <= n; i++ {
+		f, ok := rx.Frame(uint16(i))
+		if ok && f.Err == nil && bytes.Equal(f.Payload, payloads[i]) {
+			recovered += len(payloads[i])
+		}
+	}
+	airTime := (disp.Duration() * time.Duration(n) / time.Duration(total)).Seconds()
+	return float64(recovered) / float64(n*codec.FrameCapacity()), float64(recovered) / airTime, nil
+}
+
+// AlphabetRobustness compares the two alphabets under rising chroma noise:
+// B/W decisions shrug off color artifacts that flip RainBar's hue-based
+// classification — the robustness cost of the doubled capacity.
+func AlphabetRobustness(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "alphabet",
+		Title:   "Block error rate vs chroma-noise level: 2-bit color (RainBar) vs 1-bit B/W (LightSync)",
+		Columns: []string{"chroma_sigma", "rainbar_err", "lightsync_err"},
+		Notes: []string{
+			"the color alphabet doubles capacity but absorbs chroma artifacts; B/W is nearly immune",
+		},
+	}
+	for i, sigma := range []float64{25, 50, 75, 100} {
+		cfg := channel.DefaultConfig()
+		cfg.ChromaNoiseStdDev = sigma
+		cfg.ChromaNoiseScalePx = 8
+		rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 0)})
+		if err != nil {
+			return nil, fmt.Errorf("alphabet rainbar sigma=%v: %w", sigma, err)
+		}
+		lsErr, err := lightSyncErrorRate(o, cfg, seedAt(o.Seed, i, 0))
+		if err != nil {
+			return nil, fmt.Errorf("alphabet lightsync sigma=%v: %w", sigma, err)
+		}
+		t.AddRow(sigma, rb.SymbolErrorRate, lsErr)
+	}
+	return t, nil
+}
+
+// lightSyncErrorRate measures the raw bit error rate of single captures.
+func lightSyncErrorRate(o Options, cfg channel.Config, seed int64) (float64, error) {
+	codec, err := lightsync.NewCodec(lightsync.Config{
+		ScreenW: o.Scale.ScreenW, ScreenH: o.Scale.ScreenH, BlockSize: defaultBlock,
+	})
+	if err != nil {
+		return 0, err
+	}
+	cfg.Seed = seed
+	ch, err := channel.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var wrong, total int
+	for i := 0; i < o.Scale.Frames; i++ {
+		payload := make([]byte, codec.FrameCapacity())
+		rng.Read(payload)
+		f, err := codec.EncodeFrame(payload, uint16(i))
+		if err != nil {
+			return 0, err
+		}
+		truth, err := codec.DecodeGrid(f.Render())
+		if err != nil {
+			return 0, fmt.Errorf("truth decode: %w", err)
+		}
+		capt, err := ch.Capture(f.Render())
+		if err != nil {
+			return 0, err
+		}
+		gd, err := codec.DecodeGrid(capt)
+		if err != nil {
+			wrong += len(truth.Bits)
+			total += len(truth.Bits)
+			continue
+		}
+		for j := range truth.Bits {
+			if gd.Bits[j] != truth.Bits[j] {
+				wrong++
+			}
+		}
+		total += len(truth.Bits)
+	}
+	return float64(wrong) / float64(total), nil
+}

@@ -1,0 +1,335 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
+	"rainbar/internal/cobra"
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/raster"
+	"rainbar/internal/screen"
+)
+
+// Scale selects the experiment resolution. The paper runs on a 1920x1080
+// Galaxy S4; the default experiment scale halves each dimension twice to
+// keep the full sweep suite tractable on a laptop while preserving the
+// grid structure (block sizes in pixels are kept, so grids have fewer
+// blocks than the S4's). Capacity analysis (E11) always uses the full S4
+// geometry — it is analytic, not simulated.
+type Scale struct {
+	// ScreenW, ScreenH are the simulated screen dimensions in pixels.
+	ScreenW, ScreenH int
+	// Frames is the number of frames per sweep point.
+	Frames int
+}
+
+// DefaultScale is the standard experiment resolution. 640x360 is the
+// smallest 16:9 screen whose header strip still fits the 72-bit header at
+// the largest evaluated block size (14 px -> 45 columns).
+func DefaultScale() Scale { return Scale{ScreenW: 640, ScreenH: 360, Frames: 8} }
+
+// FullScale runs at the S4's native resolution (slow; for the final
+// report runs).
+func FullScale() Scale { return Scale{ScreenW: 1920, ScreenH: 1080, Frames: 6} }
+
+// System identifies which codec a run exercises.
+type System string
+
+// The two systems compared throughout §IV.
+const (
+	SystemRainBar System = "RainBar"
+	SystemCOBRA   System = "COBRA"
+)
+
+// RunConfig is one sweep point.
+type RunConfig struct {
+	Scale       Scale
+	BlockSize   int
+	DisplayRate float64
+	Channel     channel.Config
+	Seed        int64
+}
+
+// Metrics aggregates a run.
+type Metrics struct {
+	// SymbolErrorRate is the paper's "error rate": wrongly decoded blocks
+	// over total data blocks, before error correction. Frames whose
+	// detection fails entirely count as all-wrong.
+	SymbolErrorRate float64
+	// DecodingRate is correctly recovered payload bytes over transmitted
+	// payload bytes, after RS correction and checksum verification.
+	DecodingRate float64
+	// ThroughputBps is recovered payload bytes per second of display time.
+	ThroughputBps float64
+	// DetectFailures counts captures where detection failed outright.
+	DetectFailures int
+}
+
+// frameSource abstracts the two codecs for the shared runners.
+type frameSource struct {
+	render   func(payload []byte, seq uint16) (*raster.Image, []colorspace.Color, error)
+	capacity int
+	// decodeCells returns the raw classified cells of one capture.
+	decodeCells func(img *raster.Image) ([]colorspace.Color, error)
+	// newReceiver returns an ingest/flush/collect receiver facade.
+	newReceiver func() receiverFacade
+}
+
+type receiverFacade struct {
+	ingest func(*raster.Image) error
+	flush  func()
+	frames func() map[uint16][]byte // seq -> payload (nil if failed)
+}
+
+// newSource builds the facade for a system at a sweep point.
+func newSource(sys System, rc RunConfig) (*frameSource, error) {
+	switch sys {
+	case SystemRainBar:
+		geo, err := layout.NewGeometry(rc.Scale.ScreenW, rc.Scale.ScreenH, rc.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(rc.DisplayRate)})
+		if err != nil {
+			return nil, err
+		}
+		return &frameSource{
+			capacity: codec.FrameCapacity(),
+			render: func(payload []byte, seq uint16) (*raster.Image, []colorspace.Color, error) {
+				f, err := codec.EncodeFrame(payload, seq, false)
+				if err != nil {
+					return nil, nil, err
+				}
+				cells := codec.Geometry().DataCells()
+				truth := make([]colorspace.Color, len(cells))
+				for i, cell := range cells {
+					truth[i] = f.ColorAt(cell.Row, cell.Col)
+				}
+				return f.Render(), truth, nil
+			},
+			decodeCells: func(img *raster.Image) ([]colorspace.Color, error) {
+				gd, err := codec.DecodeGrid(img)
+				if err != nil {
+					return nil, err
+				}
+				return gd.Cells, nil
+			},
+			newReceiver: func() receiverFacade {
+				rx := core.NewReceiver(codec)
+				return receiverFacade{
+					ingest: rx.Ingest,
+					flush:  rx.Flush,
+					frames: func() map[uint16][]byte {
+						out := make(map[uint16][]byte)
+						for _, f := range rx.Frames() {
+							if f.Err == nil {
+								out[f.Header.Seq] = f.Payload
+							} else {
+								out[f.Header.Seq] = nil
+							}
+						}
+						return out
+					},
+				}
+			},
+		}, nil
+
+	case SystemCOBRA:
+		codec, err := cobra.NewCodec(cobra.Config{
+			ScreenW: rc.Scale.ScreenW, ScreenH: rc.Scale.ScreenH,
+			BlockSize: rc.BlockSize, DisplayRate: uint8(rc.DisplayRate),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &frameSource{
+			capacity: codec.FrameCapacity(),
+			render: func(payload []byte, seq uint16) (*raster.Image, []colorspace.Color, error) {
+				f, err := codec.EncodeFrame(payload, seq, false)
+				if err != nil {
+					return nil, nil, err
+				}
+				// Re-encode to read back ground-truth cells via DecodeGrid
+				// ordering: COBRA exposes cells in dataCells order already.
+				truth, err := cobraTruthCells(codec, f)
+				if err != nil {
+					return nil, nil, err
+				}
+				return f.Render(), truth, nil
+			},
+			decodeCells: func(img *raster.Image) ([]colorspace.Color, error) {
+				gd, err := codec.DecodeGrid(img)
+				if err != nil {
+					return nil, err
+				}
+				return gd.Cells, nil
+			},
+			newReceiver: func() receiverFacade {
+				rx := cobra.NewReceiver(codec)
+				return receiverFacade{
+					ingest: rx.Ingest,
+					flush:  rx.Flush,
+					frames: func() map[uint16][]byte {
+						out := make(map[uint16][]byte)
+						for _, f := range rx.Frames() {
+							if f.Err == nil {
+								out[f.Header.Seq] = f.Payload
+							} else {
+								out[f.Header.Seq] = nil
+							}
+						}
+						return out
+					},
+				}
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown system %q", sys)
+	}
+}
+
+// cobraTruthCells decodes the clean render to obtain ground-truth cell
+// colors in the decoder's cell order (the clean render decodes exactly).
+func cobraTruthCells(codec *cobra.Codec, f *cobra.Frame) ([]colorspace.Color, error) {
+	gd, err := codec.DecodeGrid(f.Render())
+	if err != nil {
+		return nil, fmt.Errorf("cobra truth cells: %w", err)
+	}
+	return gd.Cells, nil
+}
+
+// RunErrorRate measures the paper's raw block "error rate" (Fig. 10):
+// each frame is rendered, captured once through the channel, grid-decoded,
+// and its cells compared against ground truth. Detection failures count
+// every block as wrong, as a lost frame does in the paper.
+func RunErrorRate(sys System, rc RunConfig) (Metrics, error) {
+	src, err := newSource(sys, rc)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cfg := rc.Channel
+	cfg.Seed = rc.Seed
+	ch, err := channel.New(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	rng := rand.New(rand.NewSource(rc.Seed))
+
+	var wrong, total, fails int
+	for i := 0; i < rc.Scale.Frames; i++ {
+		payload := make([]byte, src.capacity)
+		rng.Read(payload)
+		img, truth, err := src.render(payload, uint16(i))
+		if err != nil {
+			return Metrics{}, err
+		}
+		capt, err := ch.Capture(img)
+		if err != nil {
+			return Metrics{}, err
+		}
+		cells, err := src.decodeCells(capt)
+		if err != nil {
+			fails++
+			wrong += len(truth)
+			total += len(truth)
+			continue
+		}
+		for j := range truth {
+			if cells[j] != truth[j] {
+				wrong++
+			}
+		}
+		total += len(truth)
+	}
+	if total == 0 {
+		return Metrics{}, fmt.Errorf("experiment: no blocks measured")
+	}
+	return Metrics{
+		SymbolErrorRate: float64(wrong) / float64(total),
+		DetectFailures:  fails,
+	}, nil
+}
+
+// RunStream measures decoding rate and throughput (Figs. 11/12): frames
+// are displayed at the configured rate, filmed by the rolling-shutter
+// camera, and reassembled by the system's receiver.
+func RunStream(sys System, rc RunConfig) (Metrics, error) {
+	src, err := newSource(sys, rc)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cfg := rc.Channel
+	cfg.Seed = rc.Seed
+	ch, err := channel.New(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	rng := rand.New(rand.NewSource(rc.Seed))
+
+	// One warmup and one cooldown frame bracket the measured window: the
+	// paper's rates are steady-state streaming figures, and the first and
+	// last frames of any finite stream get systematically fewer captures
+	// (camera phase at the head, display cutoff at the tail).
+	n := rc.Scale.Frames
+	total := n + 2
+	payloads := make([][]byte, total)
+	frames := make([]*raster.Image, total)
+	for i := 0; i < total; i++ {
+		payloads[i] = make([]byte, src.capacity)
+		rng.Read(payloads[i])
+		img, _, err := src.render(payloads[i], uint16(i))
+		if err != nil {
+			return Metrics{}, err
+		}
+		frames[i] = img
+	}
+
+	disp, err := screen.NewDisplay(frames, rc.DisplayRate, 0)
+	if err != nil {
+		return Metrics{}, err
+	}
+	disp.Transition = screen.DefaultTransition
+	cam := camera.Default()
+	// Real capture timing is noisy (OS scheduling, exposure control) and
+	// the two devices' clocks are unaligned; without this, mathematically
+	// exact f_c/f_d ratios produce resonances where every frame happens
+	// to get a clean capture.
+	cam.TimingJitter = 3 * time.Millisecond
+	cam.Seed = rc.Seed
+	cam.Phase = time.Duration(rc.Seed%23) * time.Millisecond
+	caps, err := cam.Film(disp, ch)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	rx := src.newReceiver()
+	fails := 0
+	for i := range caps {
+		if err := rx.ingest(caps[i].Image); err != nil {
+			fails++
+		}
+	}
+	rx.flush()
+	decoded := rx.frames()
+
+	recoveredBytes := 0
+	for i := 1; i <= n; i++ {
+		got, ok := decoded[uint16(i)]
+		if ok && got != nil && bytes.Equal(got, payloads[i]) {
+			recoveredBytes += len(payloads[i])
+		}
+	}
+	totalBytes := n * src.capacity
+	airTime := (disp.Duration() * time.Duration(n) / time.Duration(total)).Seconds()
+	return Metrics{
+		DecodingRate:   float64(recoveredBytes) / float64(totalBytes),
+		ThroughputBps:  float64(recoveredBytes) / airTime,
+		DetectFailures: fails,
+	}, nil
+}

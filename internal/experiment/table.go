@@ -1,0 +1,86 @@
+// Package experiment is the harness that regenerates every table and
+// figure of the paper's evaluation (§IV, plus the §III-B capacity analysis
+// and the Fig. 3/4 localization comparison). Each experiment is a function
+// producing a Table; cmd/rainbar-bench prints them and bench_test.go wraps
+// each in a testing.B benchmark. All experiments are seeded and
+// deterministic.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: one row per sweep point, one
+// column per measured series.
+type Table struct {
+	// ID is the experiment identifier (e.g. "fig10a").
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Columns are the column headers; Rows the formatted values.
+	Columns []string
+	Rows    [][]string
+	// Notes carry per-table commentary (substitutions, shape criteria).
+	Notes []string
+}
+
+// AddRow appends a row, formatting each value.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case int:
+			row[i] = fmt.Sprintf("%d", x)
+		default:
+			row[i] = fmt.Sprint(x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, v := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

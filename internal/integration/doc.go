@@ -1,0 +1,6 @@
+// Package integration holds end-to-end tests that exercise the full
+// stack — encoder, renderer, optical channel, rolling-shutter camera,
+// receiver, transport — across the three barcode systems under a matrix
+// of working conditions. Unit tests live next to their packages; this
+// package is for the cross-cutting paths a downstream user actually runs.
+package integration

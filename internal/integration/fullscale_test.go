@@ -1,0 +1,52 @@
+package integration
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/workload"
+)
+
+// TestFullScaleS4RoundTrip validates the codec at the paper's native
+// geometry — a 1920x1080 screen with 13 px blocks (147x83 grid, ~2.7 KB
+// payload per frame) — through the default optical channel. This is the
+// one test that exercises the exact frame the paper's phones displayed;
+// it warps two million pixels, so -short skips it.
+func TestFullScaleS4RoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale S4 warp is slow; skipped with -short")
+	}
+	geo, err := layout.NewGeometry(1920, 1080, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec.FrameCapacity() < 2600 {
+		t.Fatalf("S4 frame capacity = %d, expected ≈2700 bytes", codec.FrameCapacity())
+	}
+
+	want := workload.Random(codec.FrameCapacity(), 1)
+	f, err := codec.EncodeFrame(want, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := channel.DefaultConfig()
+	cfg.ViewAngleDeg = 10
+	capt, err := channel.MustNew(cfg).Capture(f.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := codec.DecodeFrame(capt)
+	if err != nil {
+		t.Fatalf("full-scale decode: %v", err)
+	}
+	if !hdr.Last || !bytes.Equal(got, want) {
+		t.Fatal("full-scale round trip mismatch")
+	}
+}

@@ -1,0 +1,379 @@
+// Package raster provides the pure-Go image substrate RainBar runs on: a
+// packed RGB frame buffer with block drawing for the encoder and the
+// sampling/filtering primitives the decoder needs (3x3 mean filter,
+// Gaussian blur, bilinear sampling, gradient sharpness for blur
+// assessment). It replaces the OpenCV-style dependencies the original
+// smartphone implementation would have used.
+package raster
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"math"
+	"os"
+
+	"rainbar/internal/colorspace"
+)
+
+// Image is a W x H RGB frame buffer with rows stored contiguously.
+// The zero value is an empty image; use New to allocate.
+type Image struct {
+	W, H int
+	Pix  []colorspace.RGB // len == W*H, row-major
+}
+
+// New allocates a black W x H image. It panics on non-positive dimensions
+// (a programming error, not a data error).
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]colorspace.RGB, w*h)}
+}
+
+// Clone returns a deep copy of img.
+func (img *Image) Clone() *Image {
+	out := &Image{W: img.W, H: img.H, Pix: make([]colorspace.RGB, len(img.Pix))}
+	copy(out.Pix, img.Pix)
+	return out
+}
+
+// In reports whether (x, y) lies inside the image.
+func (img *Image) In(x, y int) bool {
+	return x >= 0 && x < img.W && y >= 0 && y < img.H
+}
+
+// At returns the pixel at (x, y). Out-of-bounds reads return black, which
+// models the dark surround of a captured screen.
+func (img *Image) At(x, y int) colorspace.RGB {
+	if !img.In(x, y) {
+		return colorspace.RGBBlack
+	}
+	return img.Pix[y*img.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (img *Image) Set(x, y int, c colorspace.RGB) {
+	if img.In(x, y) {
+		img.Pix[y*img.W+x] = c
+	}
+}
+
+// Fill paints the whole image with c.
+func (img *Image) Fill(c colorspace.RGB) {
+	for i := range img.Pix {
+		img.Pix[i] = c
+	}
+}
+
+// FillRect paints the axis-aligned rectangle [x0,x0+w) x [y0,y0+h),
+// clipped to the image.
+func (img *Image) FillRect(x0, y0, w, h int, c colorspace.RGB) {
+	for y := max(y0, 0); y < min(y0+h, img.H); y++ {
+		row := img.Pix[y*img.W : (y+1)*img.W]
+		for x := max(x0, 0); x < min(x0+w, img.W); x++ {
+			row[x] = c
+		}
+	}
+}
+
+// Rotate180 returns a copy rotated by half a turn — the orientation a
+// captured screen has when one phone is held upside down.
+func (img *Image) Rotate180() *Image {
+	out := New(img.W, img.H)
+	n := len(img.Pix)
+	for i, p := range img.Pix {
+		out.Pix[n-1-i] = p
+	}
+	return out
+}
+
+// Bilinear samples the image at a fractional position with bilinear
+// interpolation. Samples outside the image blend toward black.
+func (img *Image) Bilinear(x, y float64) colorspace.RGB {
+	x0 := int(floor(x))
+	y0 := int(floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+
+	c00 := img.At(x0, y0)
+	c10 := img.At(x0+1, y0)
+	c01 := img.At(x0, y0+1)
+	c11 := img.At(x0+1, y0+1)
+
+	lerp2 := func(a, b, c, d uint8) uint8 {
+		top := float64(a)*(1-fx) + float64(b)*fx
+		bot := float64(c)*(1-fx) + float64(d)*fx
+		v := top*(1-fy) + bot*fy
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v + 0.5)
+	}
+	return colorspace.RGB{
+		R: lerp2(c00.R, c10.R, c01.R, c11.R),
+		G: lerp2(c00.G, c10.G, c01.G, c11.G),
+		B: lerp2(c00.B, c10.B, c01.B, c11.B),
+	}
+}
+
+func floor(v float64) float64 {
+	f := float64(int(v))
+	if v < f {
+		f--
+	}
+	return f
+}
+
+// MeanFilterAt returns the 3x3 mean-filtered value at (x, y) — the block
+// denoising step of §III-F. Border pixels average their in-bounds
+// neighborhood only.
+func (img *Image) MeanFilterAt(x, y int) colorspace.RGB {
+	var r, g, b, n int
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if !img.In(x+dx, y+dy) {
+				continue
+			}
+			p := img.Pix[(y+dy)*img.W+(x+dx)]
+			r += int(p.R)
+			g += int(p.G)
+			b += int(p.B)
+			n++
+		}
+	}
+	if n == 0 {
+		return colorspace.RGBBlack
+	}
+	return colorspace.RGB{
+		R: uint8((r + n/2) / n),
+		G: uint8((g + n/2) / n),
+		B: uint8((b + n/2) / n),
+	}
+}
+
+// GaussianBlur returns a blurred copy of img using a separable Gaussian
+// kernel with the given standard deviation (in pixels). sigma <= 0 returns
+// an unmodified clone.
+func (img *Image) GaussianBlur(sigma float64) *Image {
+	if sigma <= 0 {
+		return img.Clone()
+	}
+	kernel := gaussianKernel(sigma)
+	half := len(kernel) / 2
+
+	// Horizontal pass into float buffers, then vertical pass.
+	w, h := img.W, img.H
+	tmpR := make([]float64, w*h)
+	tmpG := make([]float64, w*h)
+	tmpB := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b, wsum float64
+			for k, kv := range kernel {
+				sx := x + k - half
+				if sx < 0 || sx >= w {
+					continue
+				}
+				p := img.Pix[y*w+sx]
+				r += kv * float64(p.R)
+				g += kv * float64(p.G)
+				b += kv * float64(p.B)
+				wsum += kv
+			}
+			i := y*w + x
+			tmpR[i] = r / wsum
+			tmpG[i] = g / wsum
+			tmpB[i] = b / wsum
+		}
+	}
+	out := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b, wsum float64
+			for k, kv := range kernel {
+				sy := y + k - half
+				if sy < 0 || sy >= h {
+					continue
+				}
+				i := sy*w + x
+				r += kv * tmpR[i]
+				g += kv * tmpG[i]
+				b += kv * tmpB[i]
+				wsum += kv
+			}
+			out.Pix[y*w+x] = colorspace.RGB{
+				R: clampRound(r / wsum),
+				G: clampRound(g / wsum),
+				B: clampRound(b / wsum),
+			}
+		}
+	}
+	return out
+}
+
+// MotionBlurHorizontal returns a copy blurred by a horizontal box kernel of
+// the given length (in pixels), modeling handshake during exposure.
+// Lengths <= 1 return an unmodified clone.
+func (img *Image) MotionBlurHorizontal(length int) *Image {
+	if length <= 1 {
+		return img.Clone()
+	}
+	out := New(img.W, img.H)
+	half := length / 2
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			var r, g, b, n int
+			for k := -half; k <= half; k++ {
+				sx := x + k
+				if sx < 0 || sx >= img.W {
+					continue
+				}
+				p := img.Pix[y*img.W+sx]
+				r += int(p.R)
+				g += int(p.G)
+				b += int(p.B)
+				n++
+			}
+			out.Pix[y*img.W+x] = colorspace.RGB{
+				R: uint8(r / n), G: uint8(g / n), B: uint8(b / n),
+			}
+		}
+	}
+	return out
+}
+
+func gaussianKernel(sigma float64) []float64 {
+	radius := int(3*sigma + 0.5)
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	return kernel
+}
+
+func clampRound(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Sharpness returns a scalar focus metric: the mean squared horizontal and
+// vertical luminance gradient. COBRA's blur assessment (§III-D) selects,
+// among captures of the same frame, the one with the highest sharpness.
+func (img *Image) Sharpness() float64 {
+	if img.W < 2 || img.H < 2 {
+		return 0
+	}
+	luma := func(p colorspace.RGB) float64 {
+		return 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+	}
+	var sum float64
+	var n int
+	for y := 0; y < img.H-1; y++ {
+		for x := 0; x < img.W-1; x++ {
+			l := luma(img.Pix[y*img.W+x])
+			gx := luma(img.Pix[y*img.W+x+1]) - l
+			gy := luma(img.Pix[(y+1)*img.W+x]) - l
+			sum += gx*gx + gy*gy
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// ToStdImage converts to an image.RGBA from the standard library.
+func (img *Image) ToStdImage() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, img.W, img.H))
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			p := img.Pix[y*img.W+x]
+			i := out.PixOffset(x, y)
+			out.Pix[i+0] = p.R
+			out.Pix[i+1] = p.G
+			out.Pix[i+2] = p.B
+			out.Pix[i+3] = 0xFF
+		}
+	}
+	return out
+}
+
+// FromStdImage converts any standard-library image to an Image.
+func FromStdImage(src image.Image) *Image {
+	b := src.Bounds()
+	out := New(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bb, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.Pix[y*out.W+x] = colorspace.RGB{
+				R: uint8(r >> 8), G: uint8(g >> 8), B: uint8(bb >> 8),
+			}
+		}
+	}
+	return out
+}
+
+// EncodePNG writes the image as PNG.
+func (img *Image) EncodePNG(w io.Writer) error {
+	return png.Encode(w, img.ToStdImage())
+}
+
+// WritePNGFile writes the image to a PNG file at path.
+func (img *Image) WritePNGFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write png: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("write png: %w", cerr)
+		}
+	}()
+	return img.EncodePNG(f)
+}
+
+// ReadPNGFile loads a PNG file into an Image.
+func ReadPNGFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("read png: %w", err)
+	}
+	defer f.Close()
+	src, err := png.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("read png: %w", err)
+	}
+	return FromStdImage(src), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,254 @@
+package raster
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"rainbar/internal/colorspace"
+)
+
+func TestNewPanicsOnInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 5) did not panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestAtSetAndBounds(t *testing.T) {
+	img := New(4, 3)
+	red := colorspace.RGBRed
+	img.Set(2, 1, red)
+	if got := img.At(2, 1); got != red {
+		t.Errorf("At(2,1) = %v, want red", got)
+	}
+	// Out-of-bounds reads are black, writes are no-ops.
+	if got := img.At(-1, 0); got != colorspace.RGBBlack {
+		t.Errorf("At(-1,0) = %v, want black", got)
+	}
+	if got := img.At(4, 0); got != colorspace.RGBBlack {
+		t.Errorf("At(4,0) = %v, want black", got)
+	}
+	img.Set(100, 100, red) // must not panic
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	img := New(2, 2)
+	img.Set(0, 0, colorspace.RGBGreen)
+	cl := img.Clone()
+	cl.Set(0, 0, colorspace.RGBBlue)
+	if img.At(0, 0) != colorspace.RGBGreen {
+		t.Fatal("Clone shares pixel storage with original")
+	}
+}
+
+func TestFillRectClipping(t *testing.T) {
+	img := New(4, 4)
+	img.FillRect(-2, -2, 4, 4, colorspace.RGBWhite)
+	if img.At(0, 0) != colorspace.RGBWhite || img.At(1, 1) != colorspace.RGBWhite {
+		t.Error("clipped fill missed in-bounds corner")
+	}
+	if img.At(2, 2) != colorspace.RGBBlack {
+		t.Error("fill exceeded its rectangle")
+	}
+}
+
+func TestBilinearAtIntegerCoordinates(t *testing.T) {
+	img := New(3, 3)
+	img.Set(1, 1, colorspace.RGB{R: 100, G: 150, B: 200})
+	if got := img.Bilinear(1, 1); got != (colorspace.RGB{R: 100, G: 150, B: 200}) {
+		t.Errorf("Bilinear(1,1) = %v", got)
+	}
+}
+
+func TestBilinearInterpolatesMidpoint(t *testing.T) {
+	img := New(2, 1)
+	img.Set(0, 0, colorspace.RGB{R: 0, G: 0, B: 0})
+	img.Set(1, 0, colorspace.RGB{R: 200, G: 100, B: 50})
+	got := img.Bilinear(0.5, 0)
+	want := colorspace.RGB{R: 100, G: 50, B: 25}
+	if got != want {
+		t.Errorf("Bilinear(0.5,0) = %v, want %v", got, want)
+	}
+}
+
+func TestBilinearNegativeCoordinates(t *testing.T) {
+	// Regression guard for the int-truncation-toward-zero bug: floor(-0.5)
+	// must be -1, so a sample at -0.5 blends halfway to black.
+	img := New(2, 2)
+	img.Fill(colorspace.RGB{R: 200, G: 200, B: 200})
+	got := img.Bilinear(-0.5, 0)
+	if got.R != 100 {
+		t.Errorf("Bilinear(-0.5,0).R = %d, want 100", got.R)
+	}
+}
+
+func TestMeanFilterUniform(t *testing.T) {
+	img := New(5, 5)
+	img.Fill(colorspace.RGB{R: 60, G: 70, B: 80})
+	if got := img.MeanFilterAt(2, 2); got != (colorspace.RGB{R: 60, G: 70, B: 80}) {
+		t.Errorf("mean of uniform image = %v", got)
+	}
+	// Corner: only 4 neighbors in bounds, still the same mean.
+	if got := img.MeanFilterAt(0, 0); got != (colorspace.RGB{R: 60, G: 70, B: 80}) {
+		t.Errorf("corner mean = %v", got)
+	}
+}
+
+func TestMeanFilterSuppressesSaltNoise(t *testing.T) {
+	img := New(3, 3)
+	img.Fill(colorspace.RGB{R: 0, G: 0, B: 0})
+	img.Set(1, 1, colorspace.RGB{R: 255, G: 255, B: 255}) // single hot pixel
+	got := img.MeanFilterAt(1, 1)
+	if got.R != 255/9+1 && got.R != 255/9 { // ~28, rounding either way
+		t.Errorf("mean filter at hot pixel = %v, want ~28", got)
+	}
+}
+
+func TestGaussianBlurPreservesUniform(t *testing.T) {
+	img := New(8, 8)
+	img.Fill(colorspace.RGB{R: 90, G: 90, B: 90})
+	out := img.GaussianBlur(1.5)
+	for i, p := range out.Pix {
+		if p.R < 89 || p.R > 91 {
+			t.Fatalf("pixel %d = %v after blur of uniform image", i, p)
+		}
+	}
+}
+
+func TestGaussianBlurZeroSigmaIsIdentity(t *testing.T) {
+	img := New(4, 4)
+	img.Set(1, 2, colorspace.RGBRed)
+	out := img.GaussianBlur(0)
+	if !bytes.Equal(flatten(img), flatten(out)) {
+		t.Fatal("sigma=0 blur changed pixels")
+	}
+}
+
+func TestGaussianBlurSpreadsEdge(t *testing.T) {
+	img := New(20, 1)
+	for x := 10; x < 20; x++ {
+		img.Set(x, 0, colorspace.RGBWhite)
+	}
+	out := img.GaussianBlur(2)
+	// The step at x=10 must become a monotone ramp.
+	prev := -1
+	for x := 5; x < 15; x++ {
+		v := int(out.At(x, 0).R)
+		if v < prev {
+			t.Fatalf("blurred edge not monotone at x=%d: %d < %d", x, v, prev)
+		}
+		prev = v
+	}
+	if out.At(9, 0).R == 0 || out.At(10, 0).R == 255 {
+		t.Error("blur did not spread the edge")
+	}
+}
+
+func TestMotionBlurHorizontal(t *testing.T) {
+	img := New(9, 1)
+	img.Set(4, 0, colorspace.RGB{R: 90, G: 90, B: 90})
+	out := img.MotionBlurHorizontal(3)
+	if out.At(4, 0).R != 30 {
+		t.Errorf("center = %d, want 30", out.At(4, 0).R)
+	}
+	if out.At(3, 0).R != 30 || out.At(5, 0).R != 30 {
+		t.Error("motion blur did not spread to neighbors")
+	}
+	if out.At(2, 0).R != 0 {
+		t.Error("motion blur spread too far")
+	}
+}
+
+func TestSharpnessOrdersBlurLevels(t *testing.T) {
+	// A checkerboard is the sharpest thing we can draw; blurring must
+	// strictly reduce the sharpness metric.
+	img := New(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if (x/4+y/4)%2 == 0 {
+				img.Set(x, y, colorspace.RGBWhite)
+			}
+		}
+	}
+	s0 := img.Sharpness()
+	s1 := img.GaussianBlur(1).Sharpness()
+	s2 := img.GaussianBlur(3).Sharpness()
+	if !(s0 > s1 && s1 > s2) {
+		t.Fatalf("sharpness not monotone in blur: %v, %v, %v", s0, s1, s2)
+	}
+}
+
+func TestSharpnessDegenerate(t *testing.T) {
+	if got := New(1, 1).Sharpness(); got != 0 {
+		t.Errorf("1x1 sharpness = %v, want 0", got)
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	img := New(7, 5)
+	img.Set(3, 2, colorspace.RGBGreen)
+	img.Set(6, 4, colorspace.RGB{R: 1, G: 2, B: 3})
+	path := filepath.Join(t.TempDir(), "frame.png")
+	if err := img.WritePNGFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPNGFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != img.W || back.H != img.H {
+		t.Fatalf("dimensions %dx%d, want %dx%d", back.W, back.H, img.W, img.H)
+	}
+	if !bytes.Equal(flatten(img), flatten(back)) {
+		t.Fatal("PNG round trip altered pixels")
+	}
+}
+
+func TestReadPNGMissingFile(t *testing.T) {
+	if _, err := ReadPNGFile(filepath.Join(t.TempDir(), "nope.png")); err == nil {
+		t.Fatal("reading missing file succeeded")
+	}
+}
+
+func TestBilinearWithinPixelRangeProperty(t *testing.T) {
+	img := New(8, 8)
+	for i := range img.Pix {
+		img.Pix[i] = colorspace.RGB{R: uint8(i * 31), G: uint8(i * 17), B: uint8(i * 7)}
+	}
+	prop := func(xq, yq uint16) bool {
+		x := float64(xq%800) / 100 // [0, 8)
+		y := float64(yq%800) / 100
+		p := img.Bilinear(x, y)
+		// Interpolation never exceeds the channel extremes of its corners.
+		x0, y0 := int(math.Floor(x)), int(math.Floor(y))
+		lo, hi := 255, 0
+		for dy := 0; dy <= 1; dy++ {
+			for dx := 0; dx <= 1; dx++ {
+				v := int(img.At(x0+dx, y0+dy).R)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		return int(p.R) >= lo-1 && int(p.R) <= hi+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flatten(img *Image) []byte {
+	out := make([]byte, 0, len(img.Pix)*3)
+	for _, p := range img.Pix {
+		out = append(out, p.R, p.G, p.B)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package rdcode
+
+import (
+	"fmt"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/raster"
+)
+
+// paletteClassifier recognizes a block color by nearest-neighbor distance
+// to the square's own palette samples — RDCode's signature mechanism
+// (§III-F: "uses color palettes to decide the colors of blocks"). Because
+// the references are sampled from the same capture, the classifier adapts
+// to illumination for free, at the cost of the four blocks per square.
+type paletteClassifier struct {
+	refs [paletteBlocks]colorspace.RGB
+	// black is a synthetic dark reference (RDCode paints no black data
+	// blocks, but unused area and deep shadows classify against it).
+	black colorspace.RGB
+}
+
+func (pc *paletteClassifier) classify(p colorspace.RGB) colorspace.Color {
+	best := colorspace.Black
+	bestD := dist2(p, pc.black)
+	for i, ref := range pc.refs {
+		if d := dist2(p, ref); d < bestD {
+			bestD = d
+			best = paletteColors[i]
+		}
+	}
+	return best
+}
+
+func dist2(a, b colorspace.RGB) float64 {
+	dr := float64(a.R) - float64(b.R)
+	dg := float64(a.G) - float64(b.G)
+	db := float64(a.B) - float64(b.B)
+	return dr*dr + dg*dg + db*db
+}
+
+// DecodeFrame decodes a geometry-aligned capture (same resolution as the
+// render; photometric impairments allowed). Each square is classified
+// against its own palette, RS-corrected, and concatenated.
+func (c *Codec) DecodeFrame(img *raster.Image) ([]byte, error) {
+	bs := c.cfg.BlockSize
+	if img.W < c.cols*bs || img.H < c.rows*bs {
+		return nil, fmt.Errorf("rdcode: capture %dx%d smaller than frame %dx%d", img.W, img.H, c.cols*bs, c.rows*bs)
+	}
+	payload := make([]byte, 0, c.capacityPerFrame)
+	var firstErr error
+	failed := 0
+	for sq := 0; sq < c.sqCols*c.sqRows; sq++ {
+		data, err := c.decodeSquare(img, sq)
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+			data = make([]byte, c.perSquareData) // placeholder, recoverable via parity frame
+		}
+		payload = append(payload, data...)
+	}
+	if failed > 0 {
+		return payload, fmt.Errorf("%w: %d/%d squares (first: %v)", ErrBadFrame, failed, c.sqCols*c.sqRows, firstErr)
+	}
+	return payload, nil
+}
+
+// decodeSquare classifies and RS-decodes one square.
+func (c *Codec) decodeSquare(img *raster.Image, sq int) ([]byte, error) {
+	row0, col0 := c.squareOrigin(sq)
+	bs := c.cfg.BlockSize
+	h := c.cfg.SquareSize
+	center := func(r, co int) (int, int) {
+		return (col0+co)*bs + bs/2, (row0+r)*bs + bs/2
+	}
+
+	pc := paletteClassifier{black: colorspace.RGBBlack}
+	for i, p := range c.paletteCells() {
+		x, y := center(p[0], p[1])
+		pc.refs[i] = img.MeanFilterAt(x, y)
+	}
+
+	msgLen := c.perSquareBlocks * colorspace.BitsPerBlock / 8
+	stream := make([]byte, msgLen)
+	pal := c.paletteCells()
+	isPalette := func(r, co int) bool {
+		for _, p := range pal {
+			if p[0] == r && p[1] == co {
+				return true
+			}
+		}
+		return false
+	}
+	bitIdx := 0
+	for r := 0; r < h; r++ {
+		for co := 0; co < h; co++ {
+			if isPalette(r, co) {
+				continue
+			}
+			x, y := center(r, co)
+			col := pc.classify(img.MeanFilterAt(x, y))
+			var bits byte
+			if col.IsData() {
+				bits = col.Bits()
+			}
+			if bitIdx/4 < len(stream) {
+				stream[bitIdx/4] |= bits << uint(6-2*(bitIdx%4))
+			}
+			bitIdx++
+		}
+	}
+	data, err := c.rsc.Decode(stream, nil)
+	if err != nil {
+		return nil, fmt.Errorf("square %d: %w", sq, err)
+	}
+	return data, nil
+}
+
+// RecoverGroup applies the inter-frame level: given the decoded payloads
+// of a parity group (nil entries for frames that failed) and the decoded
+// parity frame payload, it reconstructs a single missing frame by XOR.
+// More than one missing frame is unrecoverable at this level.
+func (c *Codec) RecoverGroup(payloads [][]byte, parity []byte) ([][]byte, error) {
+	missing := -1
+	for i, p := range payloads {
+		if p == nil {
+			if missing >= 0 {
+				return nil, fmt.Errorf("rdcode: %d frames missing in group; parity recovers only one", countNil(payloads))
+			}
+			missing = i
+		}
+	}
+	if missing < 0 {
+		return payloads, nil
+	}
+	if parity == nil {
+		return nil, fmt.Errorf("rdcode: parity frame missing, cannot recover frame %d", missing)
+	}
+	recovered := make([]byte, len(parity))
+	copy(recovered, parity)
+	for i, p := range payloads {
+		if i == missing {
+			continue
+		}
+		for j := range recovered {
+			if j < len(p) {
+				recovered[j] ^= p[j]
+			}
+		}
+	}
+	out := make([][]byte, len(payloads))
+	copy(out, payloads)
+	out[missing] = recovered
+	return out, nil
+}
+
+func countNil(ps [][]byte) int {
+	n := 0
+	for _, p := range ps {
+		if p == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// PaletteOverheadFraction reports the share of square blocks spent on
+// palettes — the §III-F cost RainBar avoids.
+func (c *Codec) PaletteOverheadFraction() float64 {
+	return float64(paletteBlocks) / float64(c.cfg.SquareSize*c.cfg.SquareSize)
+}

@@ -1,0 +1,277 @@
+// Package rdcode implements the RDCode baseline as characterized by the
+// RainBar paper (§III-B, §III-F): the screen is divided into h x h-block
+// squares; each square dedicates four corner blocks to a color palette
+// (the per-square references used for color recognition) and protects its
+// blocks with error correction; frames are additionally protected by an
+// inter-frame XOR parity frame (a simplified form of RDCode's tri-level
+// scheme: we implement the inter-block RS level and the inter-frame parity
+// level; the intra-block level is folded into RS).
+//
+// The paper evaluates RDCode only analytically — capacity (it has the
+// smallest effective code area of the three systems) and the cost of
+// spending 4 blocks per square on palettes — so this package focuses on
+// layout, capacity accounting, palette-based color recognition, and the
+// error-correction levels. Its decoder assumes a geometry-aligned capture
+// (no own corner-tracker stack): RDCode's localization is not part of any
+// reproduced experiment.
+package rdcode
+
+import (
+	"errors"
+	"fmt"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/raster"
+	"rainbar/internal/rs"
+)
+
+// DefaultSquareSize is h: the side of a square in blocks (paper: 12x12 on
+// the S4).
+const DefaultSquareSize = 12
+
+// paletteBlocks is the number of reference blocks each square spends.
+const paletteBlocks = 4
+
+// Config describes an RDCode codec.
+type Config struct {
+	// ScreenW, ScreenH, BlockSize define the grid, as in the other codecs.
+	ScreenW, ScreenH, BlockSize int
+	// SquareSize is h (default DefaultSquareSize).
+	SquareSize int
+	// RSParity is the parity bytes per square's RS message (default 8).
+	RSParity int
+	// ParityFrameInterval inserts one XOR parity frame after every this
+	// many data frames (0 disables the inter-frame level).
+	ParityFrameInterval int
+}
+
+// ErrBadFrame means error correction failed for at least one square.
+var ErrBadFrame = errors.New("rdcode: frame failed error correction")
+
+// Codec encodes and decodes RDCode frames.
+type Codec struct {
+	cfg              Config
+	cols, rows       int
+	sqCols, sqRows   int
+	rsc              *rs.Codec
+	perSquareData    int // data bytes per square after palette + parity
+	perSquareBlocks  int // usable (non-palette) blocks per square
+	capacityPerFrame int
+}
+
+// NewCodec validates and precomputes the layout.
+func NewCodec(cfg Config) (*Codec, error) {
+	if cfg.SquareSize == 0 {
+		cfg.SquareSize = DefaultSquareSize
+	}
+	if cfg.RSParity == 0 {
+		cfg.RSParity = 8
+	}
+	if cfg.BlockSize < 2 {
+		return nil, fmt.Errorf("rdcode: block size %d too small", cfg.BlockSize)
+	}
+	if cfg.SquareSize < 4 {
+		return nil, fmt.Errorf("rdcode: square size %d too small", cfg.SquareSize)
+	}
+	cols := cfg.ScreenW / cfg.BlockSize
+	rows := cfg.ScreenH / cfg.BlockSize
+	sqCols := cols / cfg.SquareSize
+	sqRows := rows / cfg.SquareSize
+	if sqCols < 1 || sqRows < 1 {
+		return nil, fmt.Errorf("rdcode: screen fits no %dx%d square", cfg.SquareSize, cfg.SquareSize)
+	}
+	rsc, err := rs.New(cfg.RSParity)
+	if err != nil {
+		return nil, fmt.Errorf("rdcode: %w", err)
+	}
+	c := &Codec{cfg: cfg, cols: cols, rows: rows, sqCols: sqCols, sqRows: sqRows, rsc: rsc}
+	c.perSquareBlocks = cfg.SquareSize*cfg.SquareSize - paletteBlocks
+	squareBytes := c.perSquareBlocks * colorspace.BitsPerBlock / 8
+	if squareBytes > 255 {
+		return nil, fmt.Errorf("rdcode: square of %d bytes exceeds one RS message; use a smaller square", squareBytes)
+	}
+	c.perSquareData = squareBytes - cfg.RSParity
+	if c.perSquareData <= 0 {
+		return nil, fmt.Errorf("rdcode: square too small for parity %d", cfg.RSParity)
+	}
+	c.capacityPerFrame = c.perSquareData * sqCols * sqRows
+	return c, nil
+}
+
+// MustCodec is NewCodec but panics on error.
+func MustCodec(cfg Config) *Codec {
+	c, err := NewCodec(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FrameCapacity returns the payload bytes per data frame.
+func (c *Codec) FrameCapacity() int { return c.capacityPerFrame }
+
+// CodeAreaBlocks counts usable code blocks: non-palette blocks of every
+// whole square. This is the paper's §III-B capacity metric for RDCode;
+// screen area outside whole squares is wasted ("this configuration limits
+// the adaptation of frames on different sizes of screens").
+func (c *Codec) CodeAreaBlocks() int {
+	return c.perSquareBlocks * c.sqCols * c.sqRows
+}
+
+// RawSquareBlocks counts all blocks of whole squares including palettes.
+func (c *Codec) RawSquareBlocks() int {
+	return c.cfg.SquareSize * c.cfg.SquareSize * c.sqCols * c.sqRows
+}
+
+// Squares returns the usable square grid dimensions.
+func (c *Codec) Squares() (cols, rows int) { return c.sqCols, c.sqRows }
+
+// paletteColors is the fixed palette order painted clockwise from the
+// square's top-left corner: white, red, green, blue.
+var paletteColors = [paletteBlocks]colorspace.Color{
+	colorspace.White, colorspace.Red, colorspace.Green, colorspace.Blue,
+}
+
+// paletteCells returns the four palette cell positions (block coords
+// within a square): the corners, clockwise from top-left.
+func (c *Codec) paletteCells() [paletteBlocks][2]int {
+	h := c.cfg.SquareSize
+	return [paletteBlocks][2]int{{0, 0}, {0, h - 1}, {h - 1, h - 1}, {h - 1, 0}}
+}
+
+// Frame is one rendered-ready RDCode frame.
+type Frame struct {
+	codec  *Codec
+	colors []colorspace.Color
+	// IsParity marks inter-frame XOR parity frames.
+	IsParity bool
+}
+
+// Render paints the frame. Grid area outside whole squares stays black.
+func (f *Frame) Render() *raster.Image {
+	c := f.codec
+	bs := c.cfg.BlockSize
+	img := raster.New(c.cols*bs, c.rows*bs)
+	for r := 0; r < c.rows; r++ {
+		for co := 0; co < c.cols; co++ {
+			img.FillRect(co*bs, r*bs, bs, bs, colorspace.Paint(f.colors[r*c.cols+co]))
+		}
+	}
+	return img
+}
+
+// EncodeFrame builds one data frame (payload zero-padded to capacity).
+func (c *Codec) EncodeFrame(payload []byte) (*Frame, error) {
+	if len(payload) > c.capacityPerFrame {
+		return nil, fmt.Errorf("rdcode: payload %d exceeds capacity %d", len(payload), c.capacityPerFrame)
+	}
+	padded := make([]byte, c.capacityPerFrame)
+	copy(padded, payload)
+
+	f := &Frame{codec: c, colors: make([]colorspace.Color, c.rows*c.cols)}
+	for i := range f.colors {
+		f.colors[i] = colorspace.Black
+	}
+	for sq := 0; sq < c.sqCols*c.sqRows; sq++ {
+		data := padded[sq*c.perSquareData : (sq+1)*c.perSquareData]
+		msg, err := c.rsc.Encode(data)
+		if err != nil {
+			return nil, fmt.Errorf("rdcode encode: %w", err)
+		}
+		c.paintSquare(f, sq, msg)
+	}
+	return f, nil
+}
+
+// squareOrigin returns the top-left block of square index sq.
+func (c *Codec) squareOrigin(sq int) (row, col int) {
+	h := c.cfg.SquareSize
+	return (sq / c.sqCols) * h, (sq % c.sqCols) * h
+}
+
+// paintSquare writes the palette and the encoded bytes into one square.
+func (c *Codec) paintSquare(f *Frame, sq int, msg []byte) {
+	row0, col0 := c.squareOrigin(sq)
+	h := c.cfg.SquareSize
+	pal := c.paletteCells()
+	isPalette := func(r, co int) (int, bool) {
+		for i, p := range pal {
+			if p[0] == r && p[1] == co {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	bitIdx := 0
+	for r := 0; r < h; r++ {
+		for co := 0; co < h; co++ {
+			idx := (row0+r)*c.cols + (col0 + co)
+			if pi, ok := isPalette(r, co); ok {
+				f.colors[idx] = paletteColors[pi]
+				continue
+			}
+			var bits byte
+			if bitIdx/4 < len(msg) {
+				bits = msg[bitIdx/4] >> uint(6-2*(bitIdx%4))
+			}
+			f.colors[idx] = colorspace.FromBits(bits)
+			bitIdx++
+		}
+	}
+}
+
+// EncodeAll splits data into frames, inserting XOR parity frames per the
+// configured interval.
+func (c *Codec) EncodeAll(data []byte) ([]*Frame, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("rdcode: empty payload")
+	}
+	var frames []*Frame
+	var group []*Frame
+	for off := 0; off < len(data); off += c.capacityPerFrame {
+		hi := min(off+c.capacityPerFrame, len(data))
+		f, err := c.EncodeFrame(data[off:hi])
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+		group = append(group, f)
+		if c.cfg.ParityFrameInterval > 0 && len(group) == c.cfg.ParityFrameInterval {
+			frames = append(frames, c.xorParityFrame(group))
+			group = group[:0]
+		}
+	}
+	if c.cfg.ParityFrameInterval > 0 && len(group) > 0 {
+		frames = append(frames, c.xorParityFrame(group))
+	}
+	return frames, nil
+}
+
+// xorParityFrame builds the inter-frame redundancy frame: each cell is the
+// XOR of the group's cell symbols (palette cells keep the palette).
+func (c *Codec) xorParityFrame(group []*Frame) *Frame {
+	f := &Frame{codec: c, colors: make([]colorspace.Color, c.rows*c.cols), IsParity: true}
+	copy(f.colors, group[0].colors)
+	for r := 0; r < c.rows; r++ {
+		for co := 0; co < c.cols; co++ {
+			idx := r*c.cols + co
+			if !group[0].colors[idx].IsData() {
+				f.colors[idx] = group[0].colors[idx]
+				continue
+			}
+			var bits byte
+			for _, g := range group {
+				bits ^= g.colors[idx].Bits()
+			}
+			f.colors[idx] = colorspace.FromBits(bits)
+		}
+	}
+	return f
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

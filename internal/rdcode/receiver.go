@@ -1,0 +1,102 @@
+package rdcode
+
+import (
+	"fmt"
+
+	"rainbar/internal/raster"
+)
+
+// Receiver consumes a stream of RDCode captures in display order and
+// applies the inter-frame level of the tri-level error correction: frames
+// arrive in parity groups of ParityFrameInterval data frames followed by
+// one XOR parity frame, and a single lost data frame per group is rebuilt
+// from the parity frame and its siblings.
+//
+// RDCode has no retransmission — the always-on redundancy *is* the
+// recovery story (the design the RainBar paper argues against in §V) —
+// so a group losing two or more frames simply loses that data.
+type Receiver struct {
+	codec *Codec
+	// group accumulates the current parity group's decoded payloads
+	// (nil = frame failed); parity is the group's parity payload.
+	group  [][]byte
+	parity []byte
+
+	out      [][]byte
+	lost     int
+	healed   int
+	expected int
+}
+
+// NewReceiver creates a receiver. The codec's ParityFrameInterval must be
+// set; a zero interval means no inter-frame protection and every capture
+// is a data frame.
+func NewReceiver(c *Codec) *Receiver {
+	return &Receiver{codec: c}
+}
+
+// IngestData processes the next data-frame capture (nil image records a
+// wholly lost frame, e.g. a capture that never happened).
+func (rx *Receiver) IngestData(img *raster.Image) {
+	rx.expected++
+	var payload []byte
+	if img != nil {
+		if p, err := rx.codec.DecodeFrame(img); err == nil {
+			payload = p
+		}
+	}
+	if payload == nil {
+		rx.lost++
+	}
+	rx.group = append(rx.group, payload)
+	if rx.codec.cfg.ParityFrameInterval == 0 {
+		rx.flushGroup()
+	}
+}
+
+// IngestParity processes the parity-frame capture closing the current
+// group and attempts single-loss recovery.
+func (rx *Receiver) IngestParity(img *raster.Image) {
+	if img != nil {
+		if p, err := rx.codec.DecodeFrame(img); err == nil {
+			rx.parity = p
+		}
+	}
+	rx.flushGroup()
+}
+
+func (rx *Receiver) flushGroup() {
+	if len(rx.group) == 0 {
+		rx.parity = nil
+		return
+	}
+	recovered, err := rx.codec.RecoverGroup(rx.group, rx.parity)
+	if err == nil {
+		for i, p := range rx.group {
+			if p == nil && recovered[i] != nil {
+				rx.healed++
+			}
+		}
+		rx.out = append(rx.out, recovered...)
+	} else {
+		rx.out = append(rx.out, rx.group...)
+	}
+	rx.group = nil
+	rx.parity = nil
+}
+
+// Finish closes any open group and returns the decoded payload sequence
+// (nil entries where recovery was impossible) plus loss statistics.
+func (rx *Receiver) Finish() (payloads [][]byte, lost, healed int, err error) {
+	rx.flushGroup()
+	unrecovered := 0
+	for _, p := range rx.out {
+		if p == nil {
+			unrecovered++
+		}
+	}
+	if unrecovered > 0 {
+		err = fmt.Errorf("%w: %d/%d frames unrecoverable", ErrBadFrame, unrecovered, rx.expected)
+	}
+	return rx.out, rx.lost, rx.healed, err
+}

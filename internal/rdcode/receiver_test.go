@@ -1,0 +1,164 @@
+package rdcode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rainbar/internal/raster"
+)
+
+func parityCodec(t *testing.T, interval int) *Codec {
+	t.Helper()
+	c, err := NewCodec(Config{ScreenW: 480, ScreenH: 270, BlockSize: 10, SquareSize: 9, ParityFrameInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// encodeStream builds the display sequence (data + parity frames) and the
+// original payloads for n data frames.
+func encodeStream(t *testing.T, c *Codec, n int, seed int64) ([][]byte, []*Frame) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n*c.FrameCapacity())
+	rng.Read(data)
+	frames, err := c.EncodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = data[i*c.FrameCapacity() : (i+1)*c.FrameCapacity()]
+	}
+	return payloads, frames
+}
+
+func TestReceiverCleanStream(t *testing.T) {
+	c := parityCodec(t, 3)
+	payloads, frames := encodeStream(t, c, 6, 1)
+	rx := NewReceiver(c)
+	for _, f := range frames {
+		if f.IsParity {
+			rx.IngestParity(f.Render())
+		} else {
+			rx.IngestData(f.Render())
+		}
+	}
+	got, lost, healed, err := rx.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 || healed != 0 {
+		t.Errorf("lost %d healed %d on a clean stream", lost, healed)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("%d payloads, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+}
+
+func TestReceiverHealsSingleLossPerGroup(t *testing.T) {
+	c := parityCodec(t, 3)
+	payloads, frames := encodeStream(t, c, 6, 2)
+	rx := NewReceiver(c)
+	dataIdx := 0
+	for _, f := range frames {
+		if f.IsParity {
+			rx.IngestParity(f.Render())
+			continue
+		}
+		// Lose data frame 1 (group 0) and frame 4 (group 1).
+		var img *raster.Image
+		if dataIdx != 1 && dataIdx != 4 {
+			img = f.Render()
+		}
+		rx.IngestData(img)
+		dataIdx++
+	}
+	got, lost, healed, err := rx.Finish()
+	if err != nil {
+		t.Fatalf("single loss per group not healed: %v", err)
+	}
+	if lost != 2 || healed != 2 {
+		t.Errorf("lost %d healed %d, want 2/2", lost, healed)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch after healing", i)
+		}
+	}
+}
+
+func TestReceiverDoubleLossIsUnrecoverable(t *testing.T) {
+	c := parityCodec(t, 3)
+	_, frames := encodeStream(t, c, 3, 3)
+	rx := NewReceiver(c)
+	dataIdx := 0
+	for _, f := range frames {
+		if f.IsParity {
+			rx.IngestParity(f.Render())
+			continue
+		}
+		var img *raster.Image
+		if dataIdx > 1 { // lose frames 0 and 1 of the only group
+			img = f.Render()
+		}
+		rx.IngestData(img)
+		dataIdx++
+	}
+	_, lost, healed, err := rx.Finish()
+	if err == nil {
+		t.Fatal("double loss reported as recovered")
+	}
+	if lost != 2 || healed != 0 {
+		t.Errorf("lost %d healed %d, want 2/0", lost, healed)
+	}
+}
+
+func TestReceiverLostParityFrame(t *testing.T) {
+	// Losing the parity frame itself only matters when a data frame is
+	// also missing.
+	c := parityCodec(t, 2)
+	payloads, frames := encodeStream(t, c, 2, 4)
+	rx := NewReceiver(c)
+	for _, f := range frames {
+		if f.IsParity {
+			rx.IngestParity(nil) // parity capture lost
+		} else {
+			rx.IngestData(f.Render())
+		}
+	}
+	got, _, _, err := rx.Finish()
+	if err != nil {
+		t.Fatalf("intact data with lost parity reported failed: %v", err)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+}
+
+func TestReceiverNoParityInterval(t *testing.T) {
+	c := parityCodec(t, 0)
+	payloads, frames := encodeStream(t, c, 2, 5)
+	rx := NewReceiver(c)
+	for _, f := range frames {
+		rx.IngestData(f.Render())
+	}
+	got, _, _, err := rx.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package screen models the sender's display: a sequence of rendered
+// barcode frames shown at a fixed display rate f_d. Time is simulated — an
+// offset from an arbitrary epoch — so rolling-shutter interactions with the
+// camera are exact and tests are hermetic (no wall clock).
+//
+// It also carries the paper's §IV draw-time cost model (≈31 ms per frame
+// with four render threads on the Galaxy S4), used by the experiment
+// harness to reason about the real-time display budget.
+package screen
+
+import (
+	"fmt"
+	"time"
+
+	"rainbar/internal/raster"
+)
+
+// Display is a frame sequence shown at RateFPS starting at Start.
+// The zero value is unusable; use NewDisplay.
+type Display struct {
+	frames []*raster.Image
+	rate   float64
+	start  time.Duration
+
+	// Transition is the LCD response time: for this long after a frame
+	// switch the panel shows a blend of the old and new frame. Zero means
+	// instantaneous switching. Captures overlapping a transition see
+	// corrupted rows, which is a large part of why real screen-camera
+	// links degrade at high display rates.
+	Transition time.Duration
+}
+
+// NewDisplay creates a display timeline. rateFPS must be positive and
+// frames non-empty.
+func NewDisplay(frames []*raster.Image, rateFPS float64, start time.Duration) (*Display, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("screen: no frames to display")
+	}
+	if rateFPS <= 0 {
+		return nil, fmt.Errorf("screen: display rate %.2f fps must be positive", rateFPS)
+	}
+	return &Display{frames: frames, rate: rateFPS, start: start}, nil
+}
+
+// Rate returns the display rate in frames per second.
+func (d *Display) Rate() float64 { return d.rate }
+
+// Period returns the duration each frame stays on screen.
+func (d *Display) Period() time.Duration {
+	return time.Duration(float64(time.Second) / d.rate)
+}
+
+// NumFrames returns the number of frames in the sequence.
+func (d *Display) NumFrames() int { return len(d.frames) }
+
+// Duration returns the total on-screen time of the sequence.
+func (d *Display) Duration() time.Duration {
+	return time.Duration(float64(len(d.frames)) * float64(time.Second) / d.rate)
+}
+
+// End returns the instant the last frame leaves the screen.
+func (d *Display) End() time.Duration { return d.start + d.Duration() }
+
+// FrameAt returns the frame index visible at time t, or -1 if the screen
+// shows nothing (before start or after the last frame).
+func (d *Display) FrameAt(t time.Duration) int {
+	if t < d.start || t >= d.End() {
+		return -1
+	}
+	idx := int(float64(t-d.start) / float64(time.Second) * d.rate)
+	if idx >= len(d.frames) { // guard float rounding at the boundary
+		idx = len(d.frames) - 1
+	}
+	return idx
+}
+
+// Frame returns the rendered image for index i. It panics on a bad index;
+// callers pass indices obtained from FrameAt.
+func (d *Display) Frame(i int) *raster.Image { return d.frames[i] }
+
+// SwitchTime returns the instant frame i replaces frame i-1 on screen.
+func (d *Display) SwitchTime(i int) time.Duration {
+	return d.start + time.Duration(float64(i)*float64(time.Second)/d.rate)
+}
+
+// BlendAt describes what the panel shows at time t: frame b, or — within
+// the transition window after a switch — a blend of frames a and b with
+// weight alpha toward b (alpha in [0, 1)). Outside the display interval
+// b is -1.
+func (d *Display) BlendAt(t time.Duration) (a, b int, alpha float64) {
+	b = d.FrameAt(t)
+	a = b
+	alpha = 1
+	if b <= 0 || d.Transition <= 0 {
+		return a, b, alpha
+	}
+	since := t - d.SwitchTime(b)
+	if since < d.Transition {
+		return b - 1, b, float64(since) / float64(d.Transition)
+	}
+	return a, b, alpha
+}
+
+// DefaultTransition is a typical LCD response time.
+const DefaultTransition = 10 * time.Millisecond
+
+// DrawCost models the per-frame encode+draw time on the reference device
+// (§IV): drawing dominates and parallelizes across threads, encoding is a
+// small serial tail. Four threads give the paper's ≈31 ms.
+func DrawCost(threads int) time.Duration {
+	if threads < 1 {
+		threads = 1
+	}
+	const (
+		drawSingle = 118 * time.Millisecond // full-screen draw, one thread
+		encodeCost = 2 * time.Millisecond   // serial encode tail
+	)
+	return encodeCost + time.Duration(float64(drawSingle)/float64(threads))
+}
+
+// MaxRealTimeRate returns the highest display rate (fps) the draw-cost
+// model sustains with the given number of render threads.
+func MaxRealTimeRate(threads int) float64 {
+	return float64(time.Second) / float64(DrawCost(threads))
+}

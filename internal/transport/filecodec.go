@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rainbar/internal/core"
+)
+
+// FileCodec chunks files into RainBar frames and reassembles them. It is
+// the stateless half of the transport: Session adds the simulated link and
+// retransmission loop, while rainbar-send/rainbar-recv use FileCodec
+// directly on rendered frames.
+//
+// Wire format per frame payload: a 4-byte big-endian chunk index followed
+// by chunk data. Chunk 0 starts with the 12-byte manifest (magic, total
+// length, application type).
+type FileCodec struct {
+	// Codec is the frame codec shared by sender and receiver.
+	Codec *core.Codec
+}
+
+// ChunkSize returns the file bytes carried per frame.
+func (fc FileCodec) ChunkSize() int {
+	return fc.Codec.FrameCapacity() - chunkPrefixLen
+}
+
+// NumChunks returns the number of chunks a file of n bytes needs
+// (manifest included).
+func (fc FileCodec) NumChunks(n int) int {
+	cs := fc.ChunkSize()
+	return (n + manifestLen + cs - 1) / cs
+}
+
+// Chunk builds the frame payload for chunk index ci of data (manifest
+// prepended). Indices outside [0, NumChunks) return an error.
+func (fc FileCodec) Chunk(data []byte, ci int) ([]byte, error) {
+	cs := fc.ChunkSize()
+	if cs <= 0 {
+		return nil, fmt.Errorf("transport: frame capacity %d too small for chunk prefix", fc.Codec.FrameCapacity())
+	}
+	n := fc.NumChunks(len(data))
+	if ci < 0 || ci >= n {
+		return nil, fmt.Errorf("transport: chunk %d out of range [0, %d)", ci, n)
+	}
+	blob := append(buildManifest(len(data), Classify(data)), data...)
+	lo := ci * cs
+	hi := min(lo+cs, len(blob))
+	payload := make([]byte, chunkPrefixLen+hi-lo)
+	binary.BigEndian.PutUint32(payload, uint32(ci))
+	copy(payload[chunkPrefixLen:], blob[lo:hi])
+	return payload, nil
+}
+
+// Collector reassembles a file from decoded frame payloads in any order.
+// The zero value is not usable; use NewCollector.
+type Collector struct {
+	chunks   map[int][]byte
+	total    int // known once chunk 0 (manifest) arrives; -1 until then
+	fileLen  int
+	app      AppType
+	haveMeta bool
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{chunks: make(map[int][]byte), total: -1}
+}
+
+// Add ingests one decoded frame payload. Unknown or duplicate chunks are
+// ignored; malformed payloads return an error.
+func (c *Collector) Add(payload []byte) error {
+	if len(payload) < chunkPrefixLen {
+		return fmt.Errorf("transport: payload of %d bytes has no chunk prefix", len(payload))
+	}
+	ci := int(binary.BigEndian.Uint32(payload))
+	if ci < 0 {
+		return fmt.Errorf("transport: negative chunk index")
+	}
+	if _, dup := c.chunks[ci]; dup {
+		return nil
+	}
+	body := payload[chunkPrefixLen:]
+	c.chunks[ci] = body
+
+	if ci == 0 && !c.haveMeta {
+		length, app, err := parseManifest(body)
+		if err != nil {
+			delete(c.chunks, 0)
+			return fmt.Errorf("transport: chunk 0: %w", err)
+		}
+		c.fileLen = length
+		c.app = app
+		c.haveMeta = true
+		// Chunk size is the first chunk's body length; derive the count.
+		cs := len(body)
+		c.total = (length + manifestLen + cs - 1) / cs
+	}
+	return nil
+}
+
+// Complete reports whether every chunk has arrived.
+func (c *Collector) Complete() bool {
+	if !c.haveMeta {
+		return false
+	}
+	return len(c.chunks) >= c.total
+}
+
+// Missing lists chunk indices not yet received; nil when the manifest is
+// still unknown (everything could be missing).
+func (c *Collector) Missing() []int {
+	if !c.haveMeta {
+		return nil
+	}
+	var out []int
+	for i := 0; i < c.total; i++ {
+		if _, ok := c.chunks[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// File returns the reassembled file and its application type.
+func (c *Collector) File() ([]byte, AppType, error) {
+	if !c.Complete() {
+		return nil, 0, fmt.Errorf("transport: %d chunks missing", len(c.Missing()))
+	}
+	var blob []byte
+	for i := 0; i < c.total; i++ {
+		blob = append(blob, c.chunks[i]...)
+	}
+	if len(blob) < manifestLen+c.fileLen {
+		return nil, 0, fmt.Errorf("transport: reassembled %d bytes, manifest claims %d", len(blob)-manifestLen, c.fileLen)
+	}
+	return blob[manifestLen : manifestLen+c.fileLen], c.app, nil
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/workload"
+)
+
+func testFileCodec(t *testing.T) FileCodec {
+	t.Helper()
+	geo, err := layout.NewGeometry(640, 360, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FileCodec{Codec: codec}
+}
+
+func TestChunkRoundTripThroughCollector(t *testing.T) {
+	fc := testFileCodec(t)
+	data := workload.Text(fc.ChunkSize()*3+17, 11)
+	n := fc.NumChunks(len(data))
+
+	col := NewCollector()
+	// Deliver out of order.
+	for _, ci := range []int{n - 1, 0, 1, 2} {
+		if ci >= n {
+			continue
+		}
+		p, err := fc.Chunk(data, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ci := 0; ci < n; ci++ { // deliver the rest (duplicates ignored)
+		p, err := fc.Chunk(data, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !col.Complete() {
+		t.Fatalf("collector incomplete, missing %v", col.Missing())
+	}
+	got, app, err := col.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != AppText {
+		t.Errorf("app = %v", app)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembled file differs")
+	}
+}
+
+func TestChunkOutOfRange(t *testing.T) {
+	fc := testFileCodec(t)
+	data := []byte("small")
+	if _, err := fc.Chunk(data, -1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := fc.Chunk(data, fc.NumChunks(len(data))); err == nil {
+		t.Error("index past end accepted")
+	}
+}
+
+func TestCollectorMissingBeforeManifest(t *testing.T) {
+	col := NewCollector()
+	if got := col.Missing(); got != nil {
+		t.Fatalf("Missing before manifest = %v, want nil", got)
+	}
+	if col.Complete() {
+		t.Fatal("empty collector complete")
+	}
+}
+
+func TestCollectorRejectsMalformed(t *testing.T) {
+	col := NewCollector()
+	if err := col.Add([]byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+	// A chunk-0 payload with broken manifest must be rejected and not
+	// poison the collector.
+	bad := make([]byte, 30)
+	if err := col.Add(bad); err == nil {
+		t.Error("chunk 0 with bad magic accepted")
+	}
+	if col.Complete() {
+		t.Error("collector complete after garbage")
+	}
+}
+
+func TestCollectorMissingList(t *testing.T) {
+	fc := testFileCodec(t)
+	data := workload.Random(fc.ChunkSize()*4, 12)
+	n := fc.NumChunks(len(data))
+	col := NewCollector()
+	p0, err := fc.Chunk(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Add(p0); err != nil {
+		t.Fatal(err)
+	}
+	missing := col.Missing()
+	if len(missing) != n-1 {
+		t.Fatalf("missing %d, want %d", len(missing), n-1)
+	}
+	for i, ci := range missing {
+		if ci != i+1 {
+			t.Fatalf("missing = %v, want 1..%d", missing, n-1)
+		}
+	}
+}
+
+func TestFileBeforeComplete(t *testing.T) {
+	col := NewCollector()
+	if _, _, err := col.File(); err == nil {
+		t.Fatal("File on empty collector succeeded")
+	}
+}
+
+func TestNumChunksProperty(t *testing.T) {
+	fc := testFileCodec(t)
+	prop := func(n uint16) bool {
+		size := int(n%5000) + 1
+		chunks := fc.NumChunks(size)
+		// Enough chunks to hold manifest+data, but not one more than
+		// needed.
+		cs := fc.ChunkSize()
+		return chunks*cs >= size+12 && (chunks-1)*cs < size+12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/workload"
+)
+
+func TestTransferLossyCleanChannelDeliversEverything(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	want := workload.AudioLike(3*s.Codec.FrameCapacity(), 21)
+	got, stats, err := s.TransferLossy(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChunksMissing != 0 {
+		t.Errorf("%d chunks concealed on a clean channel", stats.ChunksMissing)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("clean lossy transfer not bit-exact")
+	}
+	if stats.App != AppAudio {
+		t.Errorf("app = %v", stats.App)
+	}
+}
+
+func TestTransferLossyConcealsOnHarshChannel(t *testing.T) {
+	// Search a few channel severities/seeds for the partial-delivery
+	// regime (some chunks arrive, some don't) that exercises concealment.
+	var (
+		got   []byte
+		want  []byte
+		stats *LossyStats
+	)
+	found := false
+	for _, angle := range []float64{15, 20, 24} {
+		for seed := int64(1); seed <= 3 && !found; seed++ {
+			cfg := channel.DefaultConfig()
+			cfg.ViewAngleDeg = angle
+			cfg.ChromaNoiseStdDev = 55
+			cfg.ChromaNoiseScalePx = 8
+			cfg.Seed = seed
+			s := testSession(t, cfg, 10)
+			s.MaxRounds = 1
+			want = workload.ImageLike(6*s.Codec.FrameCapacity(), 22)
+			g, st, err := s.TransferLossy(want)
+			if err != nil || st.ChunksMissing == 0 || st.ChunksMissing == st.FramesNeeded {
+				continue
+			}
+			got, stats = g, st
+			found = true
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no channel severity produced partial delivery; concealment not exercised")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d (concealment must preserve size)", len(got), len(want))
+	}
+	// Concealed regions are mid-gray; delivered regions must match.
+	concealed := map[int]bool{}
+	for _, ci := range stats.MissingChunks {
+		concealed[ci] = true
+	}
+	ref := testSession(t, channelDefaultForTest(), 10)
+	cs := FileCodec{Codec: ref.Codec}.ChunkSize()
+	for i := range got {
+		chunkIdx := (i + manifestLen) / cs
+		if concealed[chunkIdx] {
+			continue
+		}
+		if got[i] != want[i] {
+			t.Fatalf("delivered byte %d differs outside concealed chunks %v", i, stats.MissingChunks)
+		}
+	}
+	t.Logf("concealed %d chunks (%d bytes) after %d round(s)", stats.ChunksMissing, stats.BytesConcealed, stats.Rounds)
+}
+
+// channelDefaultForTest returns the default condition (helper keeps the
+// session builder signature uniform).
+func channelDefaultForTest() channel.Config { return channel.DefaultConfig() }
+
+func TestFileWithConcealmentRequiresManifest(t *testing.T) {
+	c := NewCollector()
+	if _, _, _, err := c.FileWithConcealment(); err == nil {
+		t.Fatal("concealment without manifest succeeded")
+	}
+}
+
+func TestFileWithConcealmentFillsGaps(t *testing.T) {
+	// Build chunks by hand: a 2-chunk image file, drop chunk 1.
+	geoSession := testSession(t, channel.DefaultConfig(), 10)
+	fc := FileCodec{Codec: geoSession.Codec}
+	data := workload.ImageLike(fc.ChunkSize()+20, 5)
+	p0, err := fc.Chunk(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	if err := col.Add(p0); err != nil {
+		t.Fatal(err)
+	}
+	got, app, report, err := col.FileWithConcealment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != AppImage {
+		t.Errorf("app = %v", app)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	if len(report.MissingChunks) != 1 || report.MissingChunks[0] != 1 {
+		t.Fatalf("missing = %v, want [1]", report.MissingChunks)
+	}
+	// The delivered prefix must match; the concealed tail must be gray.
+	deliveredLen := fc.ChunkSize() - manifestLen
+	if !bytes.Equal(got[:deliveredLen], data[:deliveredLen]) {
+		t.Fatal("delivered prefix mangled")
+	}
+	for i := deliveredLen; i < len(got); i++ {
+		if got[i] != 0x80 {
+			t.Fatalf("concealed byte %d = %#x, want 0x80", i, got[i])
+		}
+	}
+}
+
+func TestConcealChunkFillValues(t *testing.T) {
+	cases := map[AppType]byte{
+		AppImage:   0x80,
+		AppAudio:   0x80,
+		AppText:    0x00,
+		AppGeneric: 0x00,
+	}
+	for app, want := range cases {
+		chunk := concealChunk(app, 8)
+		if len(chunk) != 8 {
+			t.Fatalf("%v: len %d", app, len(chunk))
+		}
+		for _, b := range chunk {
+			if b != want {
+				t.Fatalf("%v: fill %#x, want %#x", app, b, want)
+			}
+		}
+	}
+}

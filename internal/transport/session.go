@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/raster"
+	"rainbar/internal/screen"
+)
+
+// chunkPrefixLen is the per-frame chunk-index prefix. Frame sequence
+// numbers order the *display* stream (tracking bars need consecutive
+// numbers on consecutively displayed frames, including retransmissions),
+// so reassembly is keyed by an explicit chunk index inside the payload
+// instead.
+const chunkPrefixLen = 4
+
+// Link bundles the simulated optical path of one transfer direction.
+type Link struct {
+	// Channel is the optical condition of the screen-camera path.
+	Channel *channel.Channel
+	// Camera is the receiver's capture device.
+	Camera camera.Camera
+	// DisplayRate is the sender's display rate in fps.
+	DisplayRate float64
+}
+
+// Validate reports configuration errors.
+func (l Link) Validate() error {
+	if l.Channel == nil {
+		return fmt.Errorf("transport: nil channel")
+	}
+	if l.DisplayRate <= 0 {
+		return fmt.Errorf("transport: display rate %.2f must be positive", l.DisplayRate)
+	}
+	return l.Camera.Validate()
+}
+
+// Stats summarizes a completed transfer.
+type Stats struct {
+	// Rounds is the number of display rounds (1 = no retransmission).
+	Rounds int
+	// FramesSent counts frames displayed across all rounds.
+	FramesSent int
+	// FramesNeeded is the minimum frame count (chunks).
+	FramesNeeded int
+	// AirTime is the total simulated display time.
+	AirTime time.Duration
+	// Goodput is payload bytes delivered per second of air time.
+	Goodput float64
+	// App is the classified application type.
+	App AppType
+}
+
+// Session transfers files over a screen-camera link with retransmission.
+type Session struct {
+	// Codec is the RainBar codec shared by both ends.
+	Codec *core.Codec
+	// Link is the optical path.
+	Link Link
+	// MaxRounds bounds retransmission rounds (default 8).
+	MaxRounds int
+}
+
+// Transfer sends data end to end and returns the receiver's reconstruction
+// with transfer statistics. The returned data is bit-exact or an error is
+// reported (text transfer "requires extremely high accuracy", §V).
+func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("transport: empty payload")
+	}
+	if err := s.Link.Validate(); err != nil {
+		return nil, nil, err
+	}
+	maxRounds := s.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 8
+	}
+
+	fc := FileCodec{Codec: s.Codec}
+	if fc.ChunkSize() <= 0 {
+		return nil, nil, fmt.Errorf("transport: frame capacity %d too small for chunk prefix", s.Codec.FrameCapacity())
+	}
+	nChunks := fc.NumChunks(len(data))
+	missing := make([]int, nChunks)
+	for i := range missing {
+		missing[i] = i
+	}
+
+	collector := NewCollector()
+	stats := &Stats{FramesNeeded: nChunks, App: Classify(data)}
+	var nextSeq uint16
+
+	for round := 1; round <= maxRounds && len(missing) > 0; round++ {
+		stats.Rounds = round
+		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.FramesSent += sent
+		stats.AirTime += airTime
+
+		// Receiver feedback: the still-missing chunk indices.
+		if m := collector.Missing(); m != nil {
+			missing = m
+		}
+		if collector.Complete() {
+			missing = nil
+		}
+	}
+
+	if len(missing) > 0 {
+		return nil, stats, fmt.Errorf("transport: %d/%d chunks undelivered after %d rounds", len(missing), nChunks, stats.Rounds)
+	}
+	result, gotApp, err := collector.File()
+	if err != nil {
+		return nil, stats, err
+	}
+	if gotApp != stats.App {
+		return nil, stats, fmt.Errorf("transport: app type corrupted: sent %v, received %v", stats.App, gotApp)
+	}
+	if stats.AirTime > 0 {
+		stats.Goodput = float64(len(result)) / stats.AirTime.Seconds()
+	}
+	return result, stats, nil
+}
+
+// sendRound displays the given chunks once, films them through the link,
+// and feeds every decoded frame into the collector. Sequence numbers
+// continue across rounds so consecutively displayed frames keep
+// consecutive tracking-bar colors.
+func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *uint16, collector *Collector) (framesSent int, airTime time.Duration, err error) {
+	nChunks := fc.NumChunks(len(data))
+	frames := make([]*raster.Image, 0, len(chunks))
+	for _, ci := range chunks {
+		payload, err := fc.Chunk(data, ci)
+		if err != nil {
+			return 0, 0, err
+		}
+		f, err := s.Codec.EncodeFrame(payload, *nextSeq, ci == nChunks-1)
+		if err != nil {
+			return 0, 0, fmt.Errorf("transport: %w", err)
+		}
+		*nextSeq = (*nextSeq + 1) & 0x7FFF
+		frames = append(frames, f.Render())
+	}
+
+	disp, err := screen.NewDisplay(frames, s.Link.DisplayRate, 0)
+	if err != nil {
+		return 0, 0, fmt.Errorf("transport: %w", err)
+	}
+	disp.Transition = screen.DefaultTransition
+
+	caps, err := s.Link.Camera.Film(disp, s.Link.Channel)
+	if err != nil {
+		return 0, 0, fmt.Errorf("transport: %w", err)
+	}
+	rx := core.NewReceiver(s.Codec)
+	for i := range caps {
+		// Individual captures may fail; the stream continues.
+		_ = rx.Ingest(caps[i].Image)
+	}
+	rx.Flush()
+	for _, df := range rx.Frames() {
+		if df.Err != nil {
+			continue
+		}
+		// Malformed payloads are simply not collected.
+		_ = collector.Add(df.Payload)
+	}
+	return len(frames), disp.Duration(), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+// Package transport implements RainBar's application-driven transfer layer
+// (paper §III-A, §V): files are classified by application type, chunked
+// into frames, streamed over the screen-camera link, and frames that fail
+// error correction are retransmitted after receiver feedback — the paper's
+// alternative to RDCode's always-on heavy redundancy.
+//
+// The feedback channel is out-of-band and assumed reliable, as in the
+// paper; here it is an in-process signal between Sender and Receiver.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"unicode/utf8"
+)
+
+// AppType classifies a payload, driving pre-processing and recovery
+// (§III-A's classification component). The byte value travels in each
+// frame header.
+type AppType uint8
+
+// Application types.
+const (
+	AppGeneric AppType = iota + 1
+	AppText
+	AppImage
+	AppAudio
+)
+
+// String returns the application-type name.
+func (a AppType) String() string {
+	switch a {
+	case AppGeneric:
+		return "generic"
+	case AppText:
+		return "text"
+	case AppImage:
+		return "image"
+	case AppAudio:
+		return "audio"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify inspects a payload and picks its application type: magic bytes
+// identify images and audio; valid UTF-8 with mostly printable runes is
+// text; everything else is generic.
+func Classify(data []byte) AppType {
+	if len(data) >= 8 && bytes.Equal(data[:8], []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}) {
+		return AppImage
+	}
+	if len(data) >= 3 && bytes.Equal(data[:3], []byte{0xFF, 0xD8, 0xFF}) { // JPEG
+		return AppImage
+	}
+	if len(data) >= 12 && bytes.Equal(data[:4], []byte("RIFF")) && bytes.Equal(data[8:12], []byte("WAVE")) {
+		return AppAudio
+	}
+	if len(data) >= 3 && (bytes.Equal(data[:3], []byte("ID3")) || data[0] == 0xFF && data[1]&0xE0 == 0xE0) {
+		return AppAudio
+	}
+	if isMostlyText(data) {
+		return AppText
+	}
+	return AppGeneric
+}
+
+// isMostlyText reports whether data is valid UTF-8 with >= 95% printable
+// runes (sampling at most the first 4 KiB).
+func isMostlyText(data []byte) bool {
+	sample := data
+	if len(sample) > 4096 {
+		sample = sample[:4096]
+	}
+	if !utf8.Valid(sample) {
+		return false
+	}
+	printable, total := 0, 0
+	for _, r := range string(sample) {
+		total++
+		if r == '\n' || r == '\r' || r == '\t' || (r >= 0x20 && r != 0x7F) {
+			printable++
+		}
+	}
+	return total > 0 && float64(printable)/float64(total) >= 0.95
+}
+
+// manifest is the 12-byte prefix prepended to every transfer so the
+// receiver knows the exact payload length and can verify reassembly:
+//
+//	magic(4) length(4) apptype(1) reserved(3)
+const manifestLen = 12
+
+var manifestMagic = [4]byte{'R', 'B', 'A', 'R'}
+
+func buildManifest(length int, app AppType) []byte {
+	out := make([]byte, manifestLen)
+	copy(out, manifestMagic[:])
+	binary.BigEndian.PutUint32(out[4:8], uint32(length))
+	out[8] = byte(app)
+	return out
+}
+
+func parseManifest(b []byte) (length int, app AppType, err error) {
+	if len(b) < manifestLen {
+		return 0, 0, fmt.Errorf("transport: manifest truncated (%d bytes)", len(b))
+	}
+	if !bytes.Equal(b[:4], manifestMagic[:]) {
+		return 0, 0, fmt.Errorf("transport: bad manifest magic %q", b[:4])
+	}
+	return int(binary.BigEndian.Uint32(b[4:8])), AppType(b[8]), nil
+}

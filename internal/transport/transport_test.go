@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/workload"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want AppType
+	}{
+		{"png", workload.ImageLike(64, 1), AppImage},
+		{"jpeg", []byte{0xFF, 0xD8, 0xFF, 0xE0, 1, 2, 3}, AppImage},
+		{"wav", workload.AudioLike(64, 1), AppAudio},
+		{"id3", append([]byte("ID3"), 1, 2, 3), AppAudio},
+		{"text", workload.Text(500, 1), AppText},
+		{"binary", workload.Random(64, 1), AppGeneric},
+		{"utf8 text", []byte("héllo wörld, this is a test of the classifier"), AppText},
+		{"mostly control", bytes.Repeat([]byte{0x01}, 64), AppGeneric},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.data); got != c.want {
+				t.Errorf("Classify = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestAppTypeString(t *testing.T) {
+	cases := map[AppType]string{
+		AppGeneric: "generic", AppText: "text", AppImage: "image",
+		AppAudio: "audio", AppType(99): "unknown",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q", a, got)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := buildManifest(123456, AppText)
+	length, app, err := parseManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 123456 || app != AppText {
+		t.Fatalf("manifest = (%d, %v)", length, app)
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	if _, _, err := parseManifest([]byte("short")); err == nil {
+		t.Error("truncated manifest accepted")
+	}
+	m := buildManifest(10, AppText)
+	m[0] = 'X'
+	if _, _, err := parseManifest(m); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func testSession(t *testing.T, cfg channel.Config, displayRate float64) *Session {
+	t.Helper()
+	geo, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(displayRate)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Session{
+		Codec: codec,
+		Link: Link{
+			Channel:     channel.MustNew(cfg),
+			Camera:      camera.Default(),
+			DisplayRate: displayRate,
+		},
+	}
+}
+
+func TestTransferTextFile(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	want := workload.Text(3*s.Codec.FrameCapacity(), 42)
+	got, stats, err := s.Transfer(want)
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("text file not bit-exact")
+	}
+	if stats.App != AppText {
+		t.Errorf("app = %v, want text", stats.App)
+	}
+	if stats.Goodput <= 0 {
+		t.Errorf("goodput = %v", stats.Goodput)
+	}
+	if stats.FramesSent < stats.FramesNeeded {
+		t.Errorf("sent %d < needed %d", stats.FramesSent, stats.FramesNeeded)
+	}
+}
+
+func TestTransferBinaryAtHighDisplayRate(t *testing.T) {
+	// f_d = 20 > f_c/2: the transfer must still complete thanks to
+	// tracking-bar synchronization (possibly with retransmissions).
+	s := testSession(t, channel.DefaultConfig(), 20)
+	want := workload.Random(2*s.Codec.FrameCapacity(), 7)
+	got, stats, err := s.Transfer(want)
+	if err != nil {
+		t.Fatalf("transfer at 20 fps: %v (stats %+v)", err, stats)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload not bit-exact at 20 fps")
+	}
+}
+
+func TestTransferRetransmitsOverHarshChannel(t *testing.T) {
+	cfg := channel.DefaultConfig()
+	cfg.ViewAngleDeg = 18
+	cfg.NoiseStdDev = 7
+	cfg.BlurSigma = 1.1
+	s := testSession(t, cfg, 10)
+	s.MaxRounds = 12
+	want := workload.Random(3*s.Codec.FrameCapacity(), 8)
+	got, stats, err := s.Transfer(want)
+	if err != nil {
+		t.Skipf("harsh channel undeliverable in %d rounds: %v", stats.Rounds, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload not bit-exact over harsh channel")
+	}
+	t.Logf("harsh channel: %d rounds, %d/%d frames", stats.Rounds, stats.FramesSent, stats.FramesNeeded)
+}
+
+func TestTransferEmptyPayload(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	if _, _, err := s.Transfer(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestTransferValidatesLink(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	s.Link.DisplayRate = 0
+	if _, _, err := s.Transfer([]byte("x")); err == nil {
+		t.Fatal("invalid link accepted")
+	}
+	s = testSession(t, channel.DefaultConfig(), 10)
+	s.Link.Channel = nil
+	if _, _, err := s.Transfer([]byte("x")); err == nil {
+		t.Fatal("nil channel accepted")
+	}
+}
+
+func TestTransferSingleByte(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	got, _, err := s.Transfer([]byte{0xA5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0xA5 {
+		t.Fatalf("got %v", got)
+	}
+}

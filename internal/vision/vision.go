@@ -1,0 +1,187 @@
+// Package vision provides the small computer-vision primitives shared by
+// the RainBar and COBRA decoders: connected-component labeling of black
+// blocks on a classified map, the K-means-style location-correction
+// iteration of §III-E, black-extent probing, and ring-color voting around
+// a candidate corner-tracker center. Pure Go; these stand in for the
+// OpenCV primitives a smartphone implementation would use.
+package vision
+
+import (
+	"rainbar/internal/colorspace"
+	"rainbar/internal/geometry"
+	"rainbar/internal/raster"
+)
+
+// Blob is a connected component of black cells on a classified,
+// downsampled map. In both barcode layouts black cells are never adjacent
+// (locators and corner-tracker centers are isolated by colored blocks), so
+// each in-frame blob is a single block — which makes blobs both anchor
+// candidates and block-size estimates. The dark screen surround forms one
+// giant blob that size filters reject.
+type Blob struct {
+	// Size is the number of map cells in the component.
+	Size int
+	// MinX..MaxY is the bounding box in map coordinates.
+	MinX, MinY, MaxX, MaxY int
+	sumX, sumY             int
+}
+
+// Width returns the bounding-box width in map cells.
+func (b *Blob) Width() int { return b.MaxX - b.MinX + 1 }
+
+// Height returns the bounding-box height in map cells.
+func (b *Blob) Height() int { return b.MaxY - b.MinY + 1 }
+
+// Centroid returns the component centroid in map coordinates.
+func (b *Blob) Centroid() (float64, float64) {
+	return float64(b.sumX) / float64(b.Size), float64(b.sumY) / float64(b.Size)
+}
+
+// BlackBlobs labels 8-connected components of black cells on a classified
+// map of mw x mh cells. Components smaller than 2 cells are dropped as
+// noise.
+func BlackBlobs(classMap []colorspace.Color, mw, mh int) []Blob {
+	visited := make([]bool, mw*mh)
+	var out []Blob
+	var stack []int
+	for start := range classMap {
+		if visited[start] || classMap[start] != colorspace.Black {
+			continue
+		}
+		blob := Blob{MinX: mw, MinY: mh}
+		stack = stack[:0]
+		stack = append(stack, start)
+		visited[start] = true
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := i%mw, i/mw
+			blob.Size++
+			blob.sumX += x
+			blob.sumY += y
+			blob.MinX = min(blob.MinX, x)
+			blob.MaxX = max(blob.MaxX, x)
+			blob.MinY = min(blob.MinY, y)
+			blob.MaxY = max(blob.MaxY, y)
+			for _, d := range [8][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= mw || ny < 0 || ny >= mh {
+					continue
+				}
+				j := ny*mw + nx
+				if !visited[j] && classMap[j] == colorspace.Black {
+					visited[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		if blob.Size >= 2 {
+			out = append(out, blob)
+		}
+	}
+	return out
+}
+
+// ClassifyMap builds a downsampled classification map of the image with
+// the given stride.
+func ClassifyMap(img *raster.Image, cl colorspace.Classifier, stride int) (classMap []colorspace.Color, mw, mh int) {
+	mw, mh = img.W/stride, img.H/stride
+	classMap = make([]colorspace.Color, mw*mh)
+	for y := 0; y < mh; y++ {
+		for x := 0; x < mw; x++ {
+			classMap[y*mw+x] = cl.ClassifyRGB(img.At(x*stride, y*stride))
+		}
+	}
+	return classMap, mw, mh
+}
+
+// KMeansCorrect is the paper's location-correction algorithm (§III-E):
+// iterate "centroid of the black pixels within an edge-length window"
+// until the location converges. The boolean reports whether any black
+// pixels were found; when false, the input point is returned unchanged.
+func KMeansCorrect(img *raster.Image, cl colorspace.Classifier, p geometry.Point, edge float64) (geometry.Point, bool) {
+	if edge < 2 {
+		edge = 2
+	}
+	half := int(edge/2 + 0.5)
+	cur := p
+	for iter := 0; iter < 12; iter++ {
+		var sumX, sumY float64
+		var n int
+		cx, cy := int(cur.X+0.5), int(cur.Y+0.5)
+		for dy := -half; dy <= half; dy++ {
+			for dx := -half; dx <= half; dx++ {
+				x, y := cx+dx, cy+dy
+				if !img.In(x, y) {
+					continue
+				}
+				if cl.ClassifyRGB(img.At(x, y)) == colorspace.Black {
+					sumX += float64(x)
+					sumY += float64(y)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return p, false
+		}
+		next := geometry.Point{X: sumX / float64(n), Y: sumY / float64(n)}
+		if next.Dist(cur) < 0.05 {
+			return next, true
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// BlackExtent measures how far black pixels extend from p in the four
+// axis directions, up to maxSteps each.
+func BlackExtent(img *raster.Image, cl colorspace.Classifier, p geometry.Point, maxSteps int) (up, down, left, right int) {
+	x0, y0 := int(p.X+0.5), int(p.Y+0.5)
+	step := func(dx, dy int) int {
+		n := 0
+		for i := 1; i <= maxSteps; i++ {
+			x, y := x0+i*dx, y0+i*dy
+			if !img.In(x, y) || cl.ClassifyRGB(img.At(x, y)) != colorspace.Black {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	return step(0, -1), step(0, 1), step(-1, 0), step(1, 0)
+}
+
+// RingVotes samples the eight block-neighbor positions around a black
+// block center (offsets dx, dy per axis, mean-filtered) and counts the
+// classification of each — used to verify corner-tracker ring colors.
+func RingVotes(img *raster.Image, cl colorspace.Classifier, p geometry.Point, dx, dy float64) map[colorspace.Color]int {
+	counts := make(map[colorspace.Color]int, 5)
+	for _, off := range [8][2]float64{
+		{-1, -1}, {0, -1}, {1, -1},
+		{-1, 0}, {1, 0},
+		{-1, 1}, {0, 1}, {1, 1},
+	} {
+		x := int(p.X + off[0]*dx + 0.5)
+		y := int(p.Y + off[1]*dy + 0.5)
+		if !img.In(x, y) {
+			continue
+		}
+		counts[cl.ClassifyRGB(img.MeanFilterAt(x, y))]++
+	}
+	return counts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

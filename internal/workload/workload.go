@@ -1,0 +1,86 @@
+// Package workload generates the deterministic payloads the experiments
+// transmit: random binary data for error-rate sweeps and realistic text,
+// image-like and audio-like files for the application-driven transfers of
+// §V. Everything is seeded so experiment tables reproduce exactly.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Random returns n pseudo-random bytes from the given seed.
+func Random(n int, seed int64) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+// words is a small vocabulary for synthetic text; sampled with a Zipf-ish
+// skew so the output has natural letter statistics.
+var words = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"visible", "light", "communication", "barcode", "screen", "camera",
+	"frame", "color", "block", "decode", "encode", "robust", "channel",
+	"synchronization", "throughput", "locator", "tracker", "smartphone",
+}
+
+// Text returns approximately n bytes of synthetic English-like text with
+// sentences and paragraphs.
+func Text(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.Grow(n + 64)
+	sentenceLen := 0
+	for b.Len() < n {
+		// Zipf-ish pick: squaring the uniform biases toward low indices,
+		// where the common words sit.
+		u := rng.Float64()
+		idx := int(u * u * float64(len(words)))
+		w := words[idx]
+		if sentenceLen == 0 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		}
+		b.WriteString(w)
+		sentenceLen++
+		switch {
+		case sentenceLen >= 8+rng.Intn(8):
+			b.WriteString(". ")
+			sentenceLen = 0
+			if rng.Intn(6) == 0 {
+				b.WriteString("\n\n")
+			}
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return []byte(b.String()[:n])
+}
+
+// ImageLike returns n bytes resembling a compressed image: a PNG magic
+// prefix followed by high-entropy data.
+func ImageLike(n int, seed int64) []byte {
+	out := Random(n, seed)
+	magic := []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+	copy(out, magic)
+	return out
+}
+
+// AudioLike returns n bytes resembling a WAV file: RIFF/WAVE header
+// followed by oscillating sample data.
+func AudioLike(n int, seed int64) []byte {
+	out := make([]byte, n)
+	copy(out, "RIFF")
+	if n > 8 {
+		copy(out[8:], "WAVE")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	phase := 0.0
+	for i := 12; i < n; i++ {
+		phase += 0.1 + rng.Float64()*0.05
+		out[i] = byte(128 + 100*math.Sin(phase))
+	}
+	return out
+}

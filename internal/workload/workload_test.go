@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestRandomDeterministicAndSized(t *testing.T) {
+	a := Random(256, 7)
+	b := Random(256, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed, different bytes")
+	}
+	if len(a) != 256 {
+		t.Fatalf("len = %d", len(a))
+	}
+	c := Random(256, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical bytes")
+	}
+}
+
+func TestRandomHighEntropy(t *testing.T) {
+	data := Random(4096, 1)
+	counts := make([]int, 256)
+	for _, b := range data {
+		counts[b]++
+	}
+	// Every byte value should appear at least once in 4 KiB of uniform
+	// bytes with overwhelming probability.
+	zero := 0
+	for _, n := range counts {
+		if n == 0 {
+			zero++
+		}
+	}
+	if zero > 3 {
+		t.Fatalf("%d byte values missing from 4KiB of random data", zero)
+	}
+}
+
+func TestTextLooksLikeText(t *testing.T) {
+	txt := Text(2000, 3)
+	if len(txt) != 2000 {
+		t.Fatalf("len = %d", len(txt))
+	}
+	if !utf8.Valid(txt) {
+		t.Fatal("invalid UTF-8")
+	}
+	if !bytes.Contains(txt, []byte(". ")) {
+		t.Fatal("no sentence boundaries")
+	}
+	// Printable ratio must be high (text classifier depends on it).
+	printable := 0
+	for _, r := range string(txt) {
+		if r == '\n' || (r >= 0x20 && r != 0x7F) {
+			printable++
+		}
+	}
+	if float64(printable)/float64(len([]rune(string(txt)))) < 0.99 {
+		t.Fatal("text not printable enough")
+	}
+}
+
+func TestTextDeterministic(t *testing.T) {
+	if !bytes.Equal(Text(500, 9), Text(500, 9)) {
+		t.Fatal("same seed, different text")
+	}
+}
+
+func TestImageLikeMagic(t *testing.T) {
+	img := ImageLike(64, 1)
+	want := []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+	if !bytes.Equal(img[:8], want) {
+		t.Fatalf("magic = % x", img[:8])
+	}
+	if len(img) != 64 {
+		t.Fatalf("len = %d", len(img))
+	}
+}
+
+func TestAudioLikeMagic(t *testing.T) {
+	a := AudioLike(64, 1)
+	if !bytes.Equal(a[:4], []byte("RIFF")) || !bytes.Equal(a[8:12], []byte("WAVE")) {
+		t.Fatalf("header = %q", a[:12])
+	}
+	// Sample data must oscillate around 128, not sit at zero.
+	var lo, hi byte = 255, 0
+	for _, b := range a[12:] {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	if hi-lo < 50 {
+		t.Fatalf("waveform range %d too flat", hi-lo)
+	}
+}
+
+func TestSmallSizes(t *testing.T) {
+	if got := AudioLike(4, 1); len(got) != 4 {
+		t.Fatalf("AudioLike(4) len = %d", len(got))
+	}
+	if got := ImageLike(3, 1); len(got) != 3 {
+		t.Fatalf("ImageLike(3) len = %d", len(got))
+	}
+	if got := Text(1, 1); len(got) != 1 {
+		t.Fatalf("Text(1) len = %d", len(got))
+	}
+}

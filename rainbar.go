@@ -1,0 +1,85 @@
+// Package rainbar is a pure-Go implementation of RainBar, the robust
+// application-driven visual communication system of Wang et al.
+// (ICDCS 2015): data is encoded into streams of 2-D color barcodes shown
+// on a screen and decoded from camera captures, surviving perspective
+// distortion, lens curvature, blur, noise, dim screens and — via per-row
+// tracking bars — the rolling-shutter frame mixing that appears when the
+// display rate exceeds half the capture rate.
+//
+// This package is the high-level facade. The building blocks live in
+// internal/: core (the codec), channel/screen/camera (the simulated
+// optical link), cobra and rdcode (the baselines), transport (file
+// transfer with retransmission), and experiment (the paper's evaluation
+// harness). See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// reproduced results.
+package rainbar
+
+import (
+	"fmt"
+
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/transport"
+)
+
+// Options configures a RainBar link endpoint.
+type Options struct {
+	// ScreenW, ScreenH are the sender's screen dimensions in pixels
+	// (default 1920x1080, the paper's Galaxy S4).
+	ScreenW, ScreenH int
+	// BlockSize is the barcode block side in pixels (default 13).
+	BlockSize int
+	// DisplayRate is the display rate in fps recorded in frame headers
+	// (default 10).
+	DisplayRate int
+	// RSParity is the Reed-Solomon parity bytes per 255-byte message
+	// (default 16, correcting 8 byte errors per message).
+	RSParity int
+}
+
+func (o *Options) fill() {
+	if o.ScreenW == 0 {
+		o.ScreenW = 1920
+	}
+	if o.ScreenH == 0 {
+		o.ScreenH = 1080
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 13
+	}
+	if o.DisplayRate == 0 {
+		o.DisplayRate = 10
+	}
+}
+
+// Codec is the public handle to a RainBar encoder/decoder pair.
+type Codec = core.Codec
+
+// New creates a codec with the given options (zero values take the
+// paper's defaults).
+func New(o Options) (*Codec, error) {
+	o.fill()
+	geo, err := layout.NewGeometry(o.ScreenW, o.ScreenH, o.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("rainbar: %w", err)
+	}
+	c, err := core.NewCodec(core.Config{
+		Geometry:    geo,
+		RSParity:    o.RSParity,
+		DisplayRate: uint8(o.DisplayRate),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rainbar: %w", err)
+	}
+	return c, nil
+}
+
+// FileCodec chunks whole files into frames and back; see
+// internal/transport for the wire format.
+type FileCodec = transport.FileCodec
+
+// Collector reassembles files from decoded frame payloads.
+type Collector = transport.Collector
+
+// NewCollector creates an empty reassembly collector.
+func NewCollector() *Collector { return transport.NewCollector() }

@@ -1,0 +1,74 @@
+package rainbar_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar"
+	"rainbar/internal/channel"
+)
+
+func TestNewDefaults(t *testing.T) {
+	c, err := rainbar.New(rainbar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The S4 defaults must reproduce the paper's per-frame capacity class
+	// (~2.8 KB payload after RS overhead on 11470 data blocks).
+	if c.FrameCapacity() < 2500 || c.FrameCapacity() > 2900 {
+		t.Fatalf("default frame capacity = %d, want ≈2700", c.FrameCapacity())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := rainbar.New(rainbar.Options{ScreenW: 50, ScreenH: 50}); err == nil {
+		t.Fatal("tiny screen accepted")
+	}
+	if _, err := rainbar.New(rainbar.Options{RSParity: 500}); err == nil {
+		t.Fatal("oversized parity accepted")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	c, err := rainbar.New(rainbar.Options{ScreenW: 640, ScreenH: 360, BlockSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := rainbar.FileCodec{Codec: c}
+	data := []byte("the public facade must round-trip a small file through frames and a channel")
+
+	col := rainbar.NewCollector()
+	ch, err := channel.New(channel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fc.NumChunks(len(data))
+	for ci := 0; ci < n; ci++ {
+		payload, err := fc.Chunk(data, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.EncodeFrame(payload, uint16(ci), ci == n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capt, err := ch.Capture(f.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := c.DecodeFrame(capt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Add(got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotFile, _, err := col.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotFile, data) {
+		t.Fatal("facade round trip corrupted the file")
+	}
+}
