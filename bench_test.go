@@ -17,7 +17,9 @@ import (
 )
 
 // benchOptions uses fewer frames per point than rainbar-bench so the
-// whole -bench=. suite stays in CI-friendly territory.
+// whole -bench=. suite stays in CI-friendly territory. Workers stays at
+// the default (one per CPU); the tables are bit-identical for any worker
+// count, so parallelism only shortens the run.
 func benchOptions() experiment.Options {
 	o := experiment.DefaultOptions()
 	o.Scale.Frames = 4

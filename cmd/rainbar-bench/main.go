@@ -9,7 +9,11 @@
 //	rainbar-bench [-exp all|fig10a|fig10b|fig10c|fig10d|fig11|fig11c|
 //	               table1|fig12a|fig12b|capacity|localization|decode-time|
 //	               text-transfer|hsv-vs-rgb|sync-ablation]
-//	              [-frames N] [-seed N] [-full]
+//	              [-frames N] [-seed N] [-workers N] [-full]
+//
+// Sweeps fan out across -workers goroutines (default: one per CPU); the
+// tables are bit-identical for every worker count, so -workers only trades
+// wall-clock time for CPU. -workers 1 forces the serial path.
 package main
 
 import (
@@ -23,10 +27,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id to run (or 'all')")
-		frames = flag.Int("frames", 0, "frames per sweep point (0 = default)")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		full   = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
+		exp     = flag.String("exp", "all", "experiment id to run (or 'all')")
+		frames  = flag.Int("frames", 0, "frames per sweep point (0 = default)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "sweep-point workers (0 = one per CPU, 1 = serial)")
+		full    = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
 	)
 	flag.Parse()
 
@@ -38,6 +43,7 @@ func main() {
 		o.Scale.Frames = *frames
 	}
 	o.Seed = *seed
+	o.Workers = *workers
 
 	if err := run(*exp, o); err != nil {
 		fmt.Fprintln(os.Stderr, "rainbar-bench:", err)

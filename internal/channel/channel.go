@@ -269,57 +269,95 @@ func (ch *Channel) warpWithJitter(frame *raster.Image, jx, jy float64) (*raster.
 		K2:     ch.cfg.LensK2,
 	}
 
+	// Every output pixel is an independent pure function of the input
+	// frame and the (already drawn) jitter, so rows fan out across CPUs
+	// without affecting the result.
 	out := raster.New(w, h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			// Captured pixel -> ideal pinhole position (lens model) ->
-			// screen position (inverse perspective).
-			ideal := lens.Apply(geometry.Point{X: float64(x), Y: float64(y)})
-			src := inv.Apply(ideal)
-			if src.X < -1 || src.X > float64(w) || src.Y < -1 || src.Y > float64(h) {
-				continue // stays black: the dark surround of the screen
+	raster.ParallelRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			orow := out.Pix[y*w : (y+1)*w : (y+1)*w]
+			for x := 0; x < w; x++ {
+				// Captured pixel -> ideal pinhole position (lens model) ->
+				// screen position (inverse perspective).
+				ideal := lens.Apply(geometry.Point{X: float64(x), Y: float64(y)})
+				src := inv.Apply(ideal)
+				if src.X < -1 || src.X > float64(w) || src.Y < -1 || src.Y > float64(h) {
+					continue // stays black: the dark surround of the screen
+				}
+				orow[x] = frame.Bilinear(src.X, src.Y)
 			}
-			out.Set(x, y, frame.Bilinear(src.X, src.Y))
 		}
-	}
+	})
 	return out, nil
 }
 
 // Photometric applies the non-geometric stage in place of a new image:
 // blur, screen brightness, ambient veiling light, and sensor noise.
+//
+// All stochastic draws come from the channel's sequential PRNG, so they are
+// made up front — in the same R,G,B scan order as a per-pixel loop would —
+// into a pooled buffer; only the pure per-pixel arithmetic then fans out
+// across rows. The output is therefore independent of GOMAXPROCS.
 func (ch *Channel) Photometric(img *raster.Image) *raster.Image {
 	out := img.GaussianBlur(ch.cfg.effectiveBlurSigma())
 	if ch.cfg.MotionBlurPx > 1 {
-		out = out.MotionBlurHorizontal(ch.cfg.MotionBlurPx)
+		mb := out.MotionBlurHorizontal(ch.cfg.MotionBlurPx)
+		raster.Recycle(out)
+		out = mb
 	}
-	chroma := ch.chromaField(out.W, out.H)
+	chroma, chromaBacking := ch.chromaField(out.W, out.H)
 	level, contrast := ch.cfg.Ambient.veil()
 	bright := ch.cfg.ScreenBrightness
-	for i, p := range out.Pix {
-		var cr, cg, cb float64
-		if chroma[0] != nil {
-			// Chroma artifacts scale with local luminance: camera
-			// pipelines denoise shadows aggressively, so dark (structural
-			// black) regions keep far less correlated noise than lit ones.
-			luma := (0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)) / 255
-			gain := 0.15 + 0.85*luma
-			cr, cg, cb = chroma[0][i]*gain, chroma[1][i]*gain, chroma[2][i]*gain
+	n := len(out.Pix)
+	var noiseBuf []float64
+	if ch.cfg.NoiseStdDev > 0 {
+		noiseBuf = raster.GetFloats(3 * n)
+		sd := ch.cfg.NoiseStdDev
+		for i := range noiseBuf {
+			noiseBuf[i] = ch.rng.NormFloat64() * sd
 		}
-		out.Pix[i] = colorspace.RGB{
-			R: photom(p.R, bright, contrast, level, ch.noise()+cr),
-			G: photom(p.G, bright, contrast, level, ch.noise()+cg),
-			B: photom(p.B, bright, contrast, level, ch.noise()+cb),
+	}
+	w := out.W
+	raster.ParallelRows(out.H, func(y0, y1 int) {
+		for i := y0 * w; i < y1*w; i++ {
+			p := out.Pix[i]
+			var cr, cg, cb float64
+			if chroma[0] != nil {
+				// Chroma artifacts scale with local luminance: camera
+				// pipelines denoise shadows aggressively, so dark (structural
+				// black) regions keep far less correlated noise than lit ones.
+				luma := (0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)) / 255
+				gain := 0.15 + 0.85*luma
+				cr, cg, cb = chroma[0][i]*gain, chroma[1][i]*gain, chroma[2][i]*gain
+			}
+			var nr, ng, nb float64
+			if noiseBuf != nil {
+				nr, ng, nb = noiseBuf[3*i], noiseBuf[3*i+1], noiseBuf[3*i+2]
+			}
+			out.Pix[i] = colorspace.RGB{
+				R: photom(p.R, bright, contrast, level, nr+cr),
+				G: photom(p.G, bright, contrast, level, ng+cg),
+				B: photom(p.B, bright, contrast, level, nb+cb),
+			}
 		}
+	})
+	if noiseBuf != nil {
+		raster.PutFloats(noiseBuf)
+	}
+	if chromaBacking != nil {
+		raster.PutFloats(chromaBacking)
 	}
 	return out
 }
 
 // chromaField builds the spatially correlated noise planes for one
-// capture: coarse per-patch Gaussian draws, bilinearly upsampled.
-func (ch *Channel) chromaField(w, h int) [3][]float64 {
+// capture: coarse per-patch Gaussian draws, bilinearly upsampled. The three
+// planes share one pooled backing slice, returned so the caller can recycle
+// it once the planes are consumed.
+func (ch *Channel) chromaField(w, h int) ([3][]float64, []float64) {
 	var zero [3][]float64
 	if ch.cfg.ChromaNoiseStdDev <= 0 {
-		return zero
+		return zero, nil
 	}
 	scale := ch.cfg.ChromaNoiseScalePx
 	if scale < 2 {
@@ -333,30 +371,36 @@ func (ch *Channel) chromaField(w, h int) [3][]float64 {
 			coarse[c][i] = ch.rng.NormFloat64() * ch.cfg.ChromaNoiseStdDev
 		}
 	}
+	n := w * h
+	backing := raster.GetFloats(3 * n)
 	var out [3][]float64
 	for c := 0; c < 3; c++ {
-		out[c] = make([]float64, w*h)
+		out[c] = backing[c*n : (c+1)*n]
 	}
-	for y := 0; y < h; y++ {
-		fy := float64(y) / float64(scale)
-		y0 := int(fy)
-		ty := fy - float64(y0)
-		for x := 0; x < w; x++ {
-			fx := float64(x) / float64(scale)
-			x0 := int(fx)
-			tx := fx - float64(x0)
-			for c := 0; c < 3; c++ {
-				v00 := coarse[c][y0*cw+x0]
-				v10 := coarse[c][y0*cw+x0+1]
-				v01 := coarse[c][(y0+1)*cw+x0]
-				v11 := coarse[c][(y0+1)*cw+x0+1]
-				top := v00*(1-tx) + v10*tx
-				bot := v01*(1-tx) + v11*tx
-				out[c][y*w+x] = top*(1-ty) + bot*ty
+	// The coarse draws above consumed the PRNG; upsampling is pure, so it
+	// runs row-parallel.
+	raster.ParallelRows(h, func(ys, ye int) {
+		for y := ys; y < ye; y++ {
+			fy := float64(y) / float64(scale)
+			y0 := int(fy)
+			ty := fy - float64(y0)
+			for x := 0; x < w; x++ {
+				fx := float64(x) / float64(scale)
+				x0 := int(fx)
+				tx := fx - float64(x0)
+				for c := 0; c < 3; c++ {
+					v00 := coarse[c][y0*cw+x0]
+					v10 := coarse[c][y0*cw+x0+1]
+					v01 := coarse[c][(y0+1)*cw+x0]
+					v11 := coarse[c][(y0+1)*cw+x0+1]
+					top := v00*(1-tx) + v10*tx
+					bot := v01*(1-tx) + v11*tx
+					out[c][y*w+x] = top*(1-ty) + bot*ty
+				}
 			}
 		}
-	}
-	return out
+	})
+	return out, backing
 }
 
 func (ch *Channel) noise() float64 {
@@ -385,5 +429,9 @@ func (ch *Channel) Capture(frame *raster.Image) (*raster.Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ch.Photometric(warped), nil
+	out := ch.Photometric(warped)
+	// Photometric always returns a fresh image (the blur output), so the
+	// warped intermediate can go back to the pool.
+	raster.Recycle(warped)
+	return out, nil
 }

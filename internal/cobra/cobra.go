@@ -358,13 +358,6 @@ func (c *Codec) decodePayload(stream []byte, want uint16) ([]byte, error) {
 	return payload, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // blockCenter is used by tests to compare localization schemes.
 func (c *Codec) blockCenterPx(r, co int) geometry.Point {
 	bs := float64(c.cfg.BlockSize)

@@ -1,0 +1,30 @@
+package colorspace
+
+import "testing"
+
+// benchSamples covers the pixel populations the decoder classifies:
+// reference colors, dimmed variants, and noisy near-threshold mixtures.
+var benchSamples = []RGB{
+	RGBWhite, RGBRed, RGBGreen, RGBBlue, RGBBlack,
+	{128, 128, 128}, {127, 10, 14}, {30, 200, 40}, {12, 30, 190},
+	{200, 180, 170}, {60, 55, 48}, {15, 15, 20}, {240, 120, 20},
+	{90, 160, 200}, {5, 80, 6}, {255, 250, 128},
+}
+
+var sinkColor Color
+
+func BenchmarkClassifyRGB(b *testing.B) {
+	cl := NewClassifier(0.32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkColor = cl.ClassifyRGB(benchSamples[i%len(benchSamples)])
+	}
+}
+
+func BenchmarkToHSV(b *testing.B) {
+	var s HSV
+	for i := 0; i < b.N; i++ {
+		s = benchSamples[i%len(benchSamples)].ToHSV()
+	}
+	_ = s
+}

@@ -225,8 +225,68 @@ func (cl Classifier) Classify(p HSV) Color {
 	}
 }
 
-// ClassifyRGB converts and classifies in one step.
-func (cl Classifier) ClassifyRGB(p RGB) Color { return cl.Classify(p.ToHSV()) }
+// ClassifyRGB converts and classifies in one step. It computes only the
+// HSV components the decision actually needs — value always, saturation
+// when not black, hue only for chromatic pixels — with the same arithmetic
+// and branch order as ToHSV, so the result is bit-identical to
+// Classify(p.ToHSV()) while skipping most of the conversion on the black
+// and white populations the decoder samples constantly (structural cells,
+// tracking-bar surround, white data blocks).
+func (cl Classifier) ClassifyRGB(p RGB) Color {
+	tv := cl.TV
+	if tv == 0 {
+		tv = DefaultTV
+	}
+	r := float64(p.R) / 255
+	g := float64(p.G) / 255
+	b := float64(p.B) / 255
+	maxc := r
+	if g > maxc {
+		maxc = g
+	}
+	if b > maxc {
+		maxc = b
+	}
+	if maxc < tv { // V = maxc
+		return Black
+	}
+	minc := r
+	if g < minc {
+		minc = g
+	}
+	if b < minc {
+		minc = b
+	}
+	delta := maxc - minc
+	// S = delta/maxc (0 when maxc == 0, which also forces delta == 0).
+	if maxc == 0 || delta/maxc < TSat {
+		return White
+	}
+	// Chromatic: compute hue exactly as ToHSV does. delta > 0 here because
+	// delta == 0 implies S == 0 < TSat. The math.Mod of the max==r branch
+	// is dropped: |(g-b)/delta| <= 1 < 6, where Mod(x, 6) returns x
+	// unchanged.
+	var h float64
+	switch {
+	case maxc == r:
+		h = 60 * ((g - b) / delta)
+	case maxc == g:
+		h = 60 * ((b-r)/delta + 2)
+	default: // maxc == b
+		h = 60 * ((r-g)/delta + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	switch {
+	case h > 60 && h <= 180:
+		return Green
+	case h > 180 && h <= 300:
+		return Blue
+	default:
+		return Red
+	}
+}
 
 // EstimateTV computes the adaptive black/non-black threshold from a sample
 // of pixel values (Eq. 2): T_v = μ·V_b + (1-μ)·V_o, where V_b and V_o are

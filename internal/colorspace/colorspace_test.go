@@ -214,6 +214,33 @@ func TestRGBClassifierBreaksUnderDimming(t *testing.T) {
 	}
 }
 
+func TestClassifyRGBMatchesHSVPath(t *testing.T) {
+	// The fast path must agree with the reference two-step conversion for
+	// every input and threshold — including exact hue-boundary mixtures
+	// like magenta, where h lands on 300 precisely.
+	for _, tv := range []float64{0, 0.1, DefaultTV, 0.5, 0.9} {
+		cl := Classifier{TV: tv}
+		for r := 0; r < 256; r += 5 {
+			for g := 0; g < 256; g += 5 {
+				for b := 0; b < 256; b += 5 {
+					p := RGB{uint8(r), uint8(g), uint8(b)}
+					if got, want := cl.ClassifyRGB(p), cl.Classify(p.ToHSV()); got != want {
+						t.Fatalf("TV=%v ClassifyRGB(%v) = %v, Classify(ToHSV) = %v", tv, p, got, want)
+					}
+				}
+			}
+		}
+		for _, p := range []RGB{
+			{200, 0, 200}, {200, 200, 0}, {0, 200, 200}, // exact sector edges
+			{255, 255, 255}, {1, 1, 1}, {0, 0, 0},
+		} {
+			if got, want := cl.ClassifyRGB(p), cl.Classify(p.ToHSV()); got != want {
+				t.Fatalf("TV=%v ClassifyRGB(%v) = %v, Classify(ToHSV) = %v", tv, p, got, want)
+			}
+		}
+	}
+}
+
 func TestPaintCoversAllColors(t *testing.T) {
 	if Paint(Color(200)) != RGBBlack {
 		t.Error("Paint of invalid color should be black")

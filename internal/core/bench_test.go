@@ -79,6 +79,36 @@ func BenchmarkDecodeFrame(b *testing.B) {
 	}
 }
 
+func BenchmarkReceiverProcess(b *testing.B) {
+	// Receiver-side cost of one capture batch: grid decode, row attribution
+	// and voting, payload assembly. This is the per-capture work a streaming
+	// receiver does, so it bounds the sustainable capture rate.
+	c := testCodec(b)
+	ch := channel.MustNew(channel.DefaultConfig())
+	const batch = 4
+	caps := make([]*raster.Image, batch)
+	for i := range caps {
+		f, err := c.EncodeFrame(payloadFor(c, int64(i)), uint16(i), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caps[i], err = ch.Capture(f.Render())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx := NewReceiver(c)
+		for _, capt := range caps {
+			if err := rx.Ingest(capt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rx.Flush()
+	}
+}
+
 func BenchmarkAssemblePayload(b *testing.B) {
 	// RS + checksum only: the non-vision tail of the decoder.
 	c, capt := benchCapture(b)

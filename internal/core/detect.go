@@ -116,7 +116,7 @@ func findTrackers(img *raster.Image, classMap []colorspace.Color, mw, mh int, cl
 		// Blur erodes the classified black region, so the blob extent may
 		// underestimate the true block size; probe the ring at a few
 		// radii and keep the strongest vote.
-		base := float64(maxInt(w, h) * detectDownsample)
+		base := float64(max(w, h) * detectDownsample)
 		// 6 of 8 ring samples: strict enough that a data block almost
 		// never qualifies, loose enough to survive two eroded ring cells.
 		// A stray 6-vote data block loses to the true 8-vote tracker, and
@@ -152,11 +152,4 @@ func findTrackers(img *raster.Image, classMap []colorspace.Color, mw, mh int, cl
 		return geometry.Point{}, geometry.Point{}, fmt.Errorf("%w: tracker pair misaligned", ErrNoCornerTrackers)
 	}
 	return bestL.center, bestR.center, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -31,25 +31,34 @@ func LocalizationAblation(o Options) (*Table, error) {
 		{"angle 15, mild lens", func(c *channel.Config) { c.ViewAngleDeg = 15 }},
 		{"angle 25, strong lens", func(c *channel.Config) { c.ViewAngleDeg = 25; c.LensK1, c.LensK2 = 0.05, 0.008 }},
 	}
-	for i, cond := range conditions {
+	variants := []struct {
+		label string
+		flags core.Config
+	}{
+		{"full", core.Config{}},
+		{"no-mid", core.Config{DisableMiddleLocators: true}},
+		{"no-correction", core.Config{DisableLocationCorrection: true}},
+	}
+	// Job k covers condition k/3, decoder variant k%3.
+	errsPx := make([]float64, len(conditions)*len(variants))
+	err := forEachPoint(o, len(errsPx), func(k int) error {
+		i, v := k/len(variants), k%len(variants)
 		cfg := baseChannel()
 		cfg.JitterPx = 0
 		cfg.NoiseStdDev = 1
-		cond.mut(&cfg)
-
-		full, err := rainbarLocError(o, cfg, core.Config{}, seedAt(o.Seed, i, 0))
+		conditions[i].mut(&cfg)
+		e, err := rainbarLocError(o, cfg, variants[v].flags, seedAt(o.Seed, i, 0))
 		if err != nil {
-			return nil, fmt.Errorf("ablation full %q: %w", cond.name, err)
+			return fmt.Errorf("ablation %s %q: %w", variants[v].label, conditions[i].name, err)
 		}
-		noMid, err := rainbarLocError(o, cfg, core.Config{DisableMiddleLocators: true}, seedAt(o.Seed, i, 0))
-		if err != nil {
-			return nil, fmt.Errorf("ablation no-mid %q: %w", cond.name, err)
-		}
-		noCorr, err := rainbarLocError(o, cfg, core.Config{DisableLocationCorrection: true}, seedAt(o.Seed, i, 0))
-		if err != nil {
-			return nil, fmt.Errorf("ablation no-correction %q: %w", cond.name, err)
-		}
-		t.AddRow(cond.name, full, noMid, noCorr)
+		errsPx[k] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cond := range conditions {
+		t.AddRow(cond.name, errsPx[3*i], errsPx[3*i+1], errsPx[3*i+2])
 	}
 	return t, nil
 }

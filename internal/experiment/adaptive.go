@@ -38,25 +38,41 @@ func AdaptiveBlockSize(o Options) (*Table, error) {
 		{sensor.MobilityHandheld, 3},
 		{sensor.MobilityWalking, 6},
 	}
+	// The configurator accumulates its regime estimate across Observe calls,
+	// so the sensing pass stays strictly serial in regime order; only the
+	// (independent, expensive) error measurements fan out below.
+	adaptiveBlocks := make([]int, len(regimes))
 	for i, reg := range regimes {
 		trace := sensor.NewTrace(reg.mobility, seedAt(o.Seed, i, 0))
 		for w := 0; w < 3; w++ { // let the regime estimate settle
 			cfgr.Observe(trace.Window(200, 0.02))
 		}
-		adaptiveBlock := cfgr.BlockSize()
+		adaptiveBlocks[i] = cfgr.BlockSize()
+	}
 
+	// Job k covers regime k/2 with the adaptive (even k) or fixed-small
+	// (odd k) block size.
+	errRates := make([]float64, 2*len(regimes))
+	err = forEachPoint(o, len(errRates), func(k int) error {
+		i, reg := k/2, regimes[k/2]
 		cfg := errChannel()
 		cfg.MotionBlurPx = reg.blurPx
-
-		adaptiveErr, err := rainbarErrAt(o, cfg, adaptiveBlock, seedAt(o.Seed, i, 1))
-		if err != nil {
-			return nil, fmt.Errorf("adaptive %v: %w", reg.mobility, err)
+		block, label := adaptiveBlocks[i], "adaptive"
+		if k%2 == 1 {
+			block, label = policy.Min, "fixed"
 		}
-		fixedErr, err := rainbarErrAt(o, cfg, policy.Min, seedAt(o.Seed, i, 1))
+		e, err := rainbarErrAt(o, cfg, block, seedAt(o.Seed, i, 1))
 		if err != nil {
-			return nil, fmt.Errorf("fixed %v: %w", reg.mobility, err)
+			return fmt.Errorf("%s %v: %w", label, reg.mobility, err)
 		}
-		t.AddRow(reg.mobility.String(), reg.blurPx, adaptiveBlock, adaptiveErr, fixedErr)
+		errRates[k] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, reg := range regimes {
+		t.AddRow(reg.mobility.String(), reg.blurPx, adaptiveBlocks[i], errRates[2*i], errRates[2*i+1])
 	}
 	return t, nil
 }

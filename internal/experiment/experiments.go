@@ -24,6 +24,12 @@ type Options struct {
 	Scale Scale
 	// Seed is the base seed; sweep points derive their own from it.
 	Seed int64
+	// Workers caps the sweep-point worker pool. 0 (the zero value) uses
+	// one worker per CPU; 1 forces the legacy serial path. Results are
+	// bit-identical for every value: each sweep point derives its own seed
+	// via seedAt and owns its codec/channel, and rows are emitted in sweep
+	// order regardless of completion order.
+	Workers int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -73,18 +79,26 @@ func Fig10aDistance(o Options) (*Table, error) {
 			"paper shape: error grows with distance; RainBar below COBRA throughout",
 		},
 	}
-	for i, d := range []float64{8, 10, 12, 14, 16, 18, 20} {
+	distances := []float64{8, 10, 12, 14, 16, 18, 20}
+	// One job per (distance, system) grid cell; slot k holds the rate for
+	// distance k/2 under RainBar (even k) or COBRA (odd k).
+	rates := make([]float64, 2*len(distances))
+	err := forEachPoint(o, len(rates), func(k int) error {
+		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
 		cfg := errChannel()
-		cfg.DistanceCM = d
-		rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 0)})
+		cfg.DistanceCM = distances[i]
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, k%2)})
 		if err != nil {
-			return nil, fmt.Errorf("fig10a rainbar d=%v: %w", d, err)
+			return fmt.Errorf("fig10a %s d=%v: %w", sys, distances[i], err)
 		}
-		cb, err := RunErrorRate(SystemCOBRA, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 1)})
-		if err != nil {
-			return nil, fmt.Errorf("fig10a cobra d=%v: %w", d, err)
-		}
-		t.AddRow(d, rb.SymbolErrorRate, cb.SymbolErrorRate)
+		rates[k] = m.SymbolErrorRate
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range distances {
+		t.AddRow(d, rates[2*i], rates[2*i+1])
 	}
 	return t, nil
 }
@@ -99,23 +113,29 @@ func Fig10bViewAngle(o Options) (*Table, error) {
 			"paper shape: error grows with angle, worse for smaller blocks; RainBar below COBRA",
 		},
 	}
-	for i, a := range []float64{0, 5, 10, 15, 20, 25} {
-		row := []any{a}
-		for j, bs := range []int{10, 14} {
-			cfg := errChannel()
-			cfg.ViewAngleDeg = a
-			rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j)})
-			if err != nil {
-				return nil, fmt.Errorf("fig10b rainbar a=%v b=%d: %w", a, bs, err)
-			}
-			cb, err := RunErrorRate(SystemCOBRA, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+1)})
-			if err != nil {
-				return nil, fmt.Errorf("fig10b cobra a=%v b=%d: %w", a, bs, err)
-			}
-			row = append(row, rb.SymbolErrorRate, cb.SymbolErrorRate)
+	angles := []float64{0, 5, 10, 15, 20, 25}
+	blocks := []int{10, 14}
+	// Job k covers angle k/4, block size (k/2)%2, system k%2; the slot
+	// layout matches the row order angle, rb_b10, cb_b10, rb_b14, cb_b14.
+	rates := make([]float64, len(angles)*4)
+	err := forEachPoint(o, len(rates), func(k int) error {
+		i, j, s := k/4, (k/2)%2, k%2
+		sys := []System{SystemRainBar, SystemCOBRA}[s]
+		cfg := errChannel()
+		cfg.ViewAngleDeg = angles[i]
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: blocks[j], DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+s)})
+		if err != nil {
+			return fmt.Errorf("fig10b %s a=%v b=%d: %w", sys, angles[i], blocks[j], err)
 		}
+		rates[k] = m.SymbolErrorRate
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range angles {
 		// Row order: angle, rainbar_b10, cobra_b10, rainbar_b14, cobra_b14.
-		t.AddRow(row[0], row[1], row[2], row[3], row[4])
+		t.AddRow(a, rates[4*i], rates[4*i+1], rates[4*i+2], rates[4*i+3])
 	}
 	return t, nil
 }
@@ -130,16 +150,22 @@ func Fig10cBlockSize(o Options) (*Table, error) {
 			"paper shape: error falls as blocks grow; RainBar below COBRA",
 		},
 	}
-	for i, bs := range []int{8, 9, 10, 11, 12, 13, 14} {
-		rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: errChannel(), Seed: seedAt(o.Seed, i, 0)})
+	blocks := []int{8, 9, 10, 11, 12, 13, 14}
+	rates := make([]float64, 2*len(blocks))
+	err := forEachPoint(o, len(rates), func(k int) error {
+		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: errChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
-			return nil, fmt.Errorf("fig10c rainbar b=%d: %w", bs, err)
+			return fmt.Errorf("fig10c %s b=%d: %w", sys, blocks[i], err)
 		}
-		cb, err := RunErrorRate(SystemCOBRA, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: errChannel(), Seed: seedAt(o.Seed, i, 0)})
-		if err != nil {
-			return nil, fmt.Errorf("fig10c cobra b=%d: %w", bs, err)
-		}
-		t.AddRow(bs, rb.SymbolErrorRate, cb.SymbolErrorRate)
+		rates[k] = m.SymbolErrorRate
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bs := range blocks {
+		t.AddRow(bs, rates[2*i], rates[2*i+1])
 	}
 	return t, nil
 }
@@ -155,24 +181,30 @@ func Fig10dBrightness(o Options) (*Table, error) {
 			"RainBar's adaptive T_v (Eq. 2) absorbs dimming; COBRA's fixed threshold does not",
 		},
 	}
-	for i, b := range []float64{0.4, 0.55, 0.7, 0.85, 1.0} {
-		row := make([]any, 0, 5)
-		row = append(row, b*100)
-		for j, amb := range []channel.Ambient{channel.AmbientIndoor, channel.AmbientOutdoor} {
-			cfg := errChannel()
-			cfg.ScreenBrightness = b
-			cfg.Ambient = amb
-			rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j)})
-			if err != nil {
-				return nil, fmt.Errorf("fig10d rainbar b=%v: %w", b, err)
-			}
-			cb, err := RunErrorRate(SystemCOBRA, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+1)})
-			if err != nil {
-				return nil, fmt.Errorf("fig10d cobra b=%v: %w", b, err)
-			}
-			row = append(row, rb.SymbolErrorRate, cb.SymbolErrorRate)
+	brightness := []float64{0.4, 0.55, 0.7, 0.85, 1.0}
+	ambients := []channel.Ambient{channel.AmbientIndoor, channel.AmbientOutdoor}
+	// Job k covers brightness k/4, ambient (k/2)%2, system k%2.
+	rates := make([]float64, len(brightness)*4)
+	err := forEachPoint(o, len(rates), func(k int) error {
+		i, j, s := k/4, (k/2)%2, k%2
+		sys := []System{SystemRainBar, SystemCOBRA}[s]
+		cfg := errChannel()
+		cfg.ScreenBrightness = brightness[i]
+		cfg.Ambient = ambients[j]
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+s)})
+		if err != nil {
+			return fmt.Errorf("fig10d %s b=%v: %w", sys, brightness[i], err)
 		}
-		t.AddRow(row[0], row[1], row[3], row[2], row[4])
+		rates[k] = m.SymbolErrorRate
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range brightness {
+		// Historical row order: rainbar indoor, rainbar outdoor, cobra
+		// indoor, cobra outdoor.
+		t.AddRow(b*100, rates[4*i], rates[4*i+2], rates[4*i+1], rates[4*i+3])
 	}
 	return t, nil
 }
@@ -199,15 +231,21 @@ func Fig11DisplayRate(o Options) (*Table, *Table, error) {
 			"paper shape: RainBar throughput rises with f_d; COBRA peaks near f_c/2 then drops",
 		},
 	}
+	metrics := make([]Metrics, 2*len(displayRateSweep))
+	err := forEachPoint(o, len(metrics), func(k int) error {
+		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
+		m, err := RunStream(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: displayRateSweep[i], Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+		if err != nil {
+			return fmt.Errorf("fig11 %s fps=%v: %w", sys, displayRateSweep[i], err)
+		}
+		metrics[k] = m
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	for i, fps := range displayRateSweep {
-		rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig11 rainbar fps=%v: %w", fps, err)
-		}
-		cb, err := RunStream(SystemCOBRA, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig11 cobra fps=%v: %w", fps, err)
-		}
+		rb, cb := metrics[2*i], metrics[2*i+1]
 		ta.AddRow(fps, rb.DecodingRate, cb.DecodingRate)
 		tb.AddRow(fps, rb.ThroughputBps, cb.ThroughputBps)
 	}
@@ -225,15 +263,22 @@ func Fig11cBlockSize(o Options) (*Table, error) {
 			"paper shape: RainBar >= COBRA on both metrics at every block size",
 		},
 	}
-	for i, bs := range []int{8, 10, 12, 14} {
-		rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+	blocks := []int{8, 10, 12, 14}
+	metrics := make([]Metrics, 2*len(blocks))
+	err := forEachPoint(o, len(metrics), func(k int) error {
+		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
+		m, err := RunStream(sys, RunConfig{Scale: o.Scale, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
-			return nil, fmt.Errorf("fig11c rainbar b=%d: %w", bs, err)
+			return fmt.Errorf("fig11c %s b=%d: %w", sys, blocks[i], err)
 		}
-		cb, err := RunStream(SystemCOBRA, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
-		if err != nil {
-			return nil, fmt.Errorf("fig11c cobra b=%d: %w", bs, err)
-		}
+		metrics[k] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bs := range blocks {
+		rb, cb := metrics[2*i], metrics[2*i+1]
 		t.AddRow(bs, rb.DecodingRate, cb.DecodingRate, rb.ThroughputBps, cb.ThroughputBps)
 	}
 	return t, nil
@@ -249,16 +294,29 @@ func Table1Throughput(o Options) (*Table, error) {
 			"paper shape: RainBar achieves higher average throughput than COBRA",
 		},
 	}
-	for j, sys := range []System{SystemRainBar, SystemCOBRA} {
+	systems := []System{SystemRainBar, SystemCOBRA}
+	const reps = 3
+	// One job per (system, repetition); the per-rep metrics are reduced in
+	// repetition order afterwards so the float accumulation associates
+	// exactly as the historical serial loop did.
+	metrics := make([]Metrics, len(systems)*reps)
+	err := forEachPoint(o, len(metrics), func(k int) error {
+		j, r := k/reps, k%reps
+		m, err := RunStream(systems[j], RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, r, j)})
+		if err != nil {
+			return fmt.Errorf("table1 %s: %w", systems[j], err)
+		}
+		metrics[k] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, sys := range systems {
 		var dec, thr float64
-		const reps = 3
 		for r := 0; r < reps; r++ {
-			m, err := RunStream(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, r, j)})
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s: %w", sys, err)
-			}
-			dec += m.DecodingRate
-			thr += m.ThroughputBps
+			dec += metrics[j*reps+r].DecodingRate
+			thr += metrics[j*reps+r].ThroughputBps
 		}
 		t.AddRow(string(sys), dec/reps, thr/reps)
 	}
@@ -275,12 +333,21 @@ func Fig12aBlockSize(o Options) (*Table, error) {
 			"paper shape: decoding rate reaches ~1.0 by ~11 px; throughput falls as blocks grow",
 		},
 	}
-	for i, bs := range []int{8, 9, 10, 11, 12, 13, 14} {
-		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: bs, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+	blocks := []int{8, 9, 10, 11, 12, 13, 14}
+	metrics := make([]Metrics, len(blocks))
+	err := forEachPoint(o, len(metrics), func(i int) error {
+		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
-			return nil, fmt.Errorf("fig12a b=%d: %w", bs, err)
+			return fmt.Errorf("fig12a b=%d: %w", blocks[i], err)
 		}
-		t.AddRow(bs, m.DecodingRate, m.ThroughputBps)
+		metrics[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bs := range blocks {
+		t.AddRow(bs, metrics[i].DecodingRate, metrics[i].ThroughputBps)
 	}
 	return t, nil
 }
@@ -296,12 +363,20 @@ func Fig12bDisplayRate(o Options) (*Table, error) {
 			"paper shape: throughput rises with f_d; decoding rate stays >= ~0.91 at 18 fps",
 		},
 	}
-	for i, fps := range displayRateSweep {
-		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+	metrics := make([]Metrics, len(displayRateSweep))
+	err := forEachPoint(o, len(metrics), func(i int) error {
+		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: displayRateSweep[i], Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
-			return nil, fmt.Errorf("fig12b fps=%v: %w", fps, err)
+			return fmt.Errorf("fig12b fps=%v: %w", displayRateSweep[i], err)
 		}
-		t.AddRow(fps, m.DecodingRate, m.ThroughputBps)
+		metrics[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fps := range displayRateSweep {
+		t.AddRow(fps, metrics[i].DecodingRate, metrics[i].ThroughputBps)
 	}
 	return t, nil
 }
@@ -364,17 +439,25 @@ func LocalizationError(o Options) (*Table, error) {
 		{"angle 15, mild lens", func(c *channel.Config) { c.ViewAngleDeg = 15 }},
 		{"angle 25, strong lens", func(c *channel.Config) { c.ViewAngleDeg = 25; c.LensK1, c.LensK2 = 0.05, 0.008 }},
 	}
-	for i, cond := range conditions {
+	type locResult struct{ rb, cb float64 }
+	results := make([]locResult, len(conditions))
+	err := forEachPoint(o, len(conditions), func(i int) error {
 		cfg := baseChannel()
 		cfg.JitterPx = 0
 		cfg.NoiseStdDev = 1
-		cond.mut(&cfg)
-
+		conditions[i].mut(&cfg)
 		rbErr, cbErr, err := localizationErrorAt(o, cfg, seedAt(o.Seed, i, 0))
 		if err != nil {
-			return nil, fmt.Errorf("localization %q: %w", cond.name, err)
+			return fmt.Errorf("localization %q: %w", conditions[i].name, err)
 		}
-		t.AddRow(cond.name, rbErr, cbErr)
+		results[i] = locResult{rbErr, cbErr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cond := range conditions {
+		t.AddRow(cond.name, results[i].rb, results[i].cb)
 	}
 	return t, nil
 }
@@ -570,18 +653,23 @@ func TextTransfer(o Options) (*Table, error) {
 		{"dim outdoor", func(c *channel.Config) { c.ScreenBrightness = 0.6; c.Ambient = channel.AmbientOutdoor }},
 		{"angle 15, noisy", func(c *channel.Config) { c.ViewAngleDeg = 15; c.NoiseStdDev = 6 }},
 	}
-	for i, cond := range conditions {
+	type xferResult struct {
+		stats *transport.Stats
+		exact bool
+	}
+	results := make([]xferResult, len(conditions))
+	err := forEachPoint(o, len(conditions), func(i int) error {
 		cfg := baseChannel()
-		cond.mut(&cfg)
+		conditions[i].mut(&cfg)
 		cfg.Seed = seedAt(o.Seed, i, 0)
 
 		geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, defaultBlock)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sess := &transport.Session{
 			Codec: codec,
@@ -594,11 +682,18 @@ func TextTransfer(o Options) (*Table, error) {
 		}
 		text := workload.Text(codec.FrameCapacity()*4, seedAt(o.Seed, i, 1))
 		got, stats, err := sess.Transfer(text)
-		exact := err == nil && string(got) == string(text)
 		if stats == nil {
-			return nil, fmt.Errorf("text transfer %q: %w", cond.name, err)
+			return fmt.Errorf("text transfer %q: %w", conditions[i].name, err)
 		}
-		t.AddRow(cond.name, stats.Rounds, stats.FramesSent, stats.FramesNeeded, stats.Goodput, fmt.Sprint(exact))
+		results[i] = xferResult{stats, err == nil && string(got) == string(text)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cond := range conditions {
+		stats := results[i].stats
+		t.AddRow(cond.name, stats.Rounds, stats.FramesSent, stats.FramesNeeded, stats.Goodput, fmt.Sprint(results[i].exact))
 	}
 	return t, nil
 }
@@ -615,25 +710,30 @@ func HSVvsRGB(o Options) (*Table, error) {
 			"shape: HSV accuracy stays high across brightness; RGB thresholds collapse when dim",
 		},
 	}
-	geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, defaultBlock)
-	if err != nil {
-		return nil, err
-	}
-	codec, err := core.NewCodec(core.Config{Geometry: geo})
-	if err != nil {
-		return nil, err
-	}
-	for i, b := range []float64{0.3, 0.5, 0.7, 1.0} {
+	brightness := []float64{0.3, 0.5, 0.7, 1.0}
+	type accResult struct{ hsv, rgb float64 }
+	results := make([]accResult, len(brightness))
+	err := forEachPoint(o, len(brightness), func(i int) error {
+		// Each job builds its own codec: construction is deterministic and
+		// cheap, and it keeps jobs free of shared mutable state.
+		geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, defaultBlock)
+		if err != nil {
+			return err
+		}
+		codec, err := core.NewCodec(core.Config{Geometry: geo})
+		if err != nil {
+			return err
+		}
 		cfg := baseChannel()
-		cfg.ScreenBrightness = b
+		cfg.ScreenBrightness = brightness[i]
 		cfg.Seed = seedAt(o.Seed, i, 0)
 		ch, err := channel.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f, err := codec.EncodeFrame(workload.Random(codec.FrameCapacity(), seedAt(o.Seed, i, 1)), 0, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Photometric-only capture: this ablation isolates color
 		// recognition from localization.
@@ -657,7 +757,14 @@ func HSVvsRGB(o Options) (*Table, error) {
 			}
 			total++
 		}
-		t.AddRow(b*100, float64(hsvOK)/float64(total), float64(rgbOK)/float64(total))
+		results[i] = accResult{float64(hsvOK) / float64(total), float64(rgbOK) / float64(total)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range brightness {
+		t.AddRow(b*100, results[i].hsv, results[i].rgb)
 	}
 	return t, nil
 }
@@ -685,16 +792,27 @@ func SyncAblation(o Options) (*Table, error) {
 			"shape: without tracking bars the decoding rate collapses as f_d approaches f_c; with them it degrades gently",
 		},
 	}
-	for i, fps := range []float64{10, 15, 20, 25} {
-		on, err := runStreamSync(o, fps, false, seedAt(o.Seed, i, 0))
+	rates := []float64{10, 15, 20, 25}
+	// Job k covers display rate k/2 with sync on (even k) or off (odd k).
+	decRates := make([]float64, 2*len(rates))
+	err := forEachPoint(o, len(decRates), func(k int) error {
+		i, off := k/2, k%2 == 1
+		dec, err := runStreamSync(o, rates[i], off, seedAt(o.Seed, i, 0))
 		if err != nil {
-			return nil, fmt.Errorf("sync on fps=%v: %w", fps, err)
+			state := "on"
+			if off {
+				state = "off"
+			}
+			return fmt.Errorf("sync %s fps=%v: %w", state, rates[i], err)
 		}
-		off, err := runStreamSync(o, fps, true, seedAt(o.Seed, i, 0))
-		if err != nil {
-			return nil, fmt.Errorf("sync off fps=%v: %w", fps, err)
-		}
-		t.AddRow(fps, on, off)
+		decRates[k] = dec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fps := range rates {
+		t.AddRow(fps, decRates[2*i], decRates[2*i+1])
 	}
 	return t, nil
 }

@@ -26,16 +26,34 @@ func LightSyncComparison(o Options) (*Table, error) {
 			"RainBar matches the synchronization with tracking bars while keeping the 2-bit color alphabet",
 		},
 	}
-	for i, fps := range []float64{10, 16, 22, 28} {
-		rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
-		if err != nil {
-			return nil, fmt.Errorf("lightsync comparison rainbar fps=%v: %w", fps, err)
+	rates := []float64{10, 16, 22, 28}
+	type lsResult struct{ rbDec, lsDec, rbBps, lsBps float64 }
+	results := make([]lsResult, len(rates))
+	// Job k covers rate k/2; even k runs RainBar, odd k the LightSync
+	// baseline — the two halves of one row fill in independently.
+	err := forEachPoint(o, 2*len(rates), func(k int) error {
+		i, fps := k/2, rates[k/2]
+		if k%2 == 0 {
+			rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+			if err != nil {
+				return fmt.Errorf("lightsync comparison rainbar fps=%v: %w", fps, err)
+			}
+			results[i].rbDec, results[i].rbBps = rb.DecodingRate, rb.ThroughputBps
+			return nil
 		}
 		lsDec, lsBps, err := runLightSyncStream(o, fps, seedAt(o.Seed, i, 0))
 		if err != nil {
-			return nil, fmt.Errorf("lightsync comparison fps=%v: %w", fps, err)
+			return fmt.Errorf("lightsync comparison fps=%v: %w", fps, err)
 		}
-		t.AddRow(fps, rb.DecodingRate, lsDec, rb.ThroughputBps, lsBps)
+		results[i].lsDec, results[i].lsBps = lsDec, lsBps
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fps := range rates {
+		r := results[i]
+		t.AddRow(fps, r.rbDec, r.lsDec, r.rbBps, r.lsBps)
 	}
 	return t, nil
 }
@@ -112,19 +130,34 @@ func AlphabetRobustness(o Options) (*Table, error) {
 			"the color alphabet doubles capacity but absorbs chroma artifacts; B/W is nearly immune",
 		},
 	}
-	for i, sigma := range []float64{25, 50, 75, 100} {
+	sigmas := []float64{25, 50, 75, 100}
+	rbErrs := make([]float64, len(sigmas))
+	lsErrs := make([]float64, len(sigmas))
+	err := forEachPoint(o, 2*len(sigmas), func(k int) error {
+		i, sigma := k/2, sigmas[k/2]
 		cfg := channel.DefaultConfig()
 		cfg.ChromaNoiseStdDev = sigma
 		cfg.ChromaNoiseScalePx = 8
-		rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 0)})
-		if err != nil {
-			return nil, fmt.Errorf("alphabet rainbar sigma=%v: %w", sigma, err)
+		if k%2 == 0 {
+			rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 0)})
+			if err != nil {
+				return fmt.Errorf("alphabet rainbar sigma=%v: %w", sigma, err)
+			}
+			rbErrs[i] = rb.SymbolErrorRate
+			return nil
 		}
 		lsErr, err := lightSyncErrorRate(o, cfg, seedAt(o.Seed, i, 0))
 		if err != nil {
-			return nil, fmt.Errorf("alphabet lightsync sigma=%v: %w", sigma, err)
+			return fmt.Errorf("alphabet lightsync sigma=%v: %w", sigma, err)
 		}
-		t.AddRow(sigma, rb.SymbolErrorRate, lsErr)
+		lsErrs[i] = lsErr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sigma := range sigmas {
+		t.AddRow(sigma, rbErrs[i], lsErrs[i])
 	}
 	return t, nil
 }

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := (Options{Workers: 3}).workers(); got != 3 {
+		t.Errorf("Workers=3 resolved to %d", got)
+	}
+	if got := (Options{}).workers(); got < 1 {
+		t.Errorf("zero-value Workers resolved to %d, want >= 1", got)
+	}
+}
+
+func TestForEachPointFillsEverySlot(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		const n = 100
+		got := make([]int, n)
+		err := forEachPoint(Options{Workers: workers}, n, func(i int) error {
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachPointReportsLowestIndexError(t *testing.T) {
+	// A serial run would hit job 3 first; the pool must report the same
+	// error no matter which failing job finished first.
+	for _, workers := range []int{1, 8} {
+		err := forEachPoint(Options{Workers: workers}, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: got %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachPointZeroJobs(t *testing.T) {
+	if err := forEachPoint(Options{Workers: 4}, 0, func(int) error {
+		return errors.New("must not run")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialParallelEquivalence pins the engine's central contract: every
+// sweep point derives its own seed and owns its codec/channel, so the
+// formatted tables are byte-identical whether one worker or many computed
+// them. The sample covers the three job shapes the engine uses: a plain
+// (point x system) grid, a reduced repetition grid (Table 1's averaging),
+// and a sweep with a serial sensing prologue (adaptive block size).
+func TestSerialParallelEquivalence(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"fig10a", Fig10aDistance},
+		{"table1", Table1Throughput},
+		{"adaptive", AdaptiveBlockSize},
+	}
+	for _, e := range experiments {
+		t.Run(e.name, func(t *testing.T) {
+			serial := tinyOptions()
+			serial.Workers = 1
+			ts, err := e.run(serial)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			parallel := tinyOptions()
+			parallel.Workers = 4
+			tp, err := e.run(parallel)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if ts.Format() != tp.Format() {
+				t.Errorf("Workers=1 and Workers=4 disagree:\n--- serial ---\n%s\n--- parallel ---\n%s", ts.Format(), tp.Format())
+			}
+		})
+	}
+}

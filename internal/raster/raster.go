@@ -13,9 +13,99 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"sync"
 
 	"rainbar/internal/colorspace"
 )
+
+// parallelRows splits the row range [0, h) into contiguous bands, one per
+// available CPU, and runs fn on each band concurrently. fn must only read
+// shared inputs and write rows inside its own band; because every output
+// row is computed independently, results are identical for any worker
+// count. With a single CPU (or a single row) it degenerates to a plain
+// call, so the serial path pays no synchronization cost.
+func parallelRows(h int, fn func(y0, y1 int)) {
+	workers := min(runtime.GOMAXPROCS(0), h)
+	if workers <= 1 {
+		fn(0, h)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		y0, y1 := w*h/workers, (w+1)*h/workers
+		if y0 == y1 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(y0, y1)
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelRows exposes the row-band scheduler to sibling packages (the
+// channel simulator fans its per-pixel stages out with it). The contract is
+// parallelRows': fn must write only rows inside its own band and compute
+// each row independently of the others.
+func ParallelRows(h int, fn func(y0, y1 int)) { parallelRows(h, fn) }
+
+// GetFloats returns a pooled scratch slice of length n with undefined
+// contents; callers must overwrite every element they read. Pair with
+// PutFloats when the scratch is no longer referenced.
+func GetFloats(n int) []float64 { return getFloats(n) }
+
+// PutFloats returns a slice obtained from GetFloats to the pool.
+func PutFloats(b []float64) { putFloats(b) }
+
+// floatPool recycles the blur scratch planes. A 640x360 capture needs
+// ~5.5 MB of float scratch; without the pool that much garbage is created
+// per simulated capture.
+var floatPool sync.Pool
+
+func getFloats(n int) []float64 {
+	if v, ok := floatPool.Get().(*[]float64); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putFloats(b []float64) {
+	floatPool.Put(&b)
+}
+
+// imagePool recycles pixel buffers between simulated captures. Buffers
+// enter the pool via Recycle and are reused by New / newUncleared when
+// large enough.
+var imagePool sync.Pool
+
+// newUncleared returns a w x h image whose pixels are NOT initialized.
+// Only producers that overwrite every pixel (blur passes, rotation) may
+// use it; everything else goes through New.
+func newUncleared(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid dimensions %dx%d", w, h))
+	}
+	n := w * h
+	if v, ok := imagePool.Get().(*Image); ok && cap(v.Pix) >= n {
+		v.W, v.H, v.Pix = w, h, v.Pix[:n]
+		return v
+	}
+	return &Image{W: w, H: h, Pix: make([]colorspace.RGB, n)}
+}
+
+// Recycle returns img's pixel storage to the allocation pool; the caller
+// must not touch img afterwards. Recycling is optional — images are
+// ordinary garbage-collected values — but the capture pipeline recycles
+// its per-frame intermediates to keep allocation churn off the hot path.
+func Recycle(img *Image) {
+	if img == nil || img.Pix == nil {
+		return
+	}
+	imagePool.Put(img)
+}
 
 // Image is a W x H RGB frame buffer with rows stored contiguously.
 // The zero value is an empty image; use New to allocate.
@@ -27,15 +117,17 @@ type Image struct {
 // New allocates a black W x H image. It panics on non-positive dimensions
 // (a programming error, not a data error).
 func New(w, h int) *Image {
-	if w <= 0 || h <= 0 {
-		panic(fmt.Sprintf("raster: invalid dimensions %dx%d", w, h))
-	}
-	return &Image{W: w, H: h, Pix: make([]colorspace.RGB, w*h)}
+	img := newUncleared(w, h)
+	clear(img.Pix)
+	return img
 }
 
 // Clone returns a deep copy of img.
 func (img *Image) Clone() *Image {
-	out := &Image{W: img.W, H: img.H, Pix: make([]colorspace.RGB, len(img.Pix))}
+	if img.W <= 0 || img.H <= 0 {
+		return &Image{W: img.W, H: img.H, Pix: make([]colorspace.RGB, len(img.Pix))}
+	}
+	out := newUncleared(img.W, img.H)
 	copy(out.Pix, img.Pix)
 	return out
 }
@@ -82,7 +174,7 @@ func (img *Image) FillRect(x0, y0, w, h int, c colorspace.RGB) {
 // Rotate180 returns a copy rotated by half a turn — the orientation a
 // captured screen has when one phone is held upside down.
 func (img *Image) Rotate180() *Image {
-	out := New(img.W, img.H)
+	out := newUncleared(img.W, img.H)
 	n := len(img.Pix)
 	for i, p := range img.Pix {
 		out.Pix[n-1-i] = p
@@ -93,15 +185,24 @@ func (img *Image) Rotate180() *Image {
 // Bilinear samples the image at a fractional position with bilinear
 // interpolation. Samples outside the image blend toward black.
 func (img *Image) Bilinear(x, y float64) colorspace.RGB {
-	x0 := int(floor(x))
-	y0 := int(floor(y))
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
 	fx := x - float64(x0)
 	fy := y - float64(y0)
 
-	c00 := img.At(x0, y0)
-	c10 := img.At(x0+1, y0)
-	c01 := img.At(x0, y0+1)
-	c11 := img.At(x0+1, y0+1)
+	var c00, c10, c01, c11 colorspace.RGB
+	if x0 >= 0 && y0 >= 0 && x0+1 < img.W && y0+1 < img.H {
+		// Interior: both sample rows are in bounds, skip the four
+		// per-corner bounds checks of the At path.
+		i := y0*img.W + x0
+		c00, c10 = img.Pix[i], img.Pix[i+1]
+		c01, c11 = img.Pix[i+img.W], img.Pix[i+img.W+1]
+	} else {
+		c00 = img.At(x0, y0)
+		c10 = img.At(x0+1, y0)
+		c01 = img.At(x0, y0+1)
+		c11 = img.At(x0+1, y0+1)
+	}
 
 	lerp2 := func(a, b, c, d uint8) uint8 {
 		top := float64(a)*(1-fx) + float64(b)*fx
@@ -122,33 +223,38 @@ func (img *Image) Bilinear(x, y float64) colorspace.RGB {
 	}
 }
 
-func floor(v float64) float64 {
-	f := float64(int(v))
-	if v < f {
-		f--
-	}
-	return f
-}
-
 // MeanFilterAt returns the 3x3 mean-filtered value at (x, y) — the block
 // denoising step of §III-F. Border pixels average their in-bounds
 // neighborhood only.
 func (img *Image) MeanFilterAt(x, y int) colorspace.RGB {
 	var r, g, b, n int
-	for dy := -1; dy <= 1; dy++ {
-		for dx := -1; dx <= 1; dx++ {
-			if !img.In(x+dx, y+dy) {
-				continue
+	if x >= 1 && y >= 1 && x < img.W-1 && y < img.H-1 {
+		// Interior: all nine neighbors are in bounds.
+		for dy := -1; dy <= 1; dy++ {
+			row := img.Pix[(y+dy)*img.W+x-1 : (y+dy)*img.W+x+2]
+			for _, p := range row {
+				r += int(p.R)
+				g += int(p.G)
+				b += int(p.B)
 			}
-			p := img.Pix[(y+dy)*img.W+(x+dx)]
-			r += int(p.R)
-			g += int(p.G)
-			b += int(p.B)
-			n++
 		}
-	}
-	if n == 0 {
-		return colorspace.RGBBlack
+		n = 9
+	} else {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if !img.In(x+dx, y+dy) {
+					continue
+				}
+				p := img.Pix[(y+dy)*img.W+(x+dx)]
+				r += int(p.R)
+				g += int(p.G)
+				b += int(p.B)
+				n++
+			}
+		}
+		if n == 0 {
+			return colorspace.RGBBlack
+		}
 	}
 	return colorspace.RGB{
 		R: uint8((r + n/2) / n),
@@ -167,53 +273,113 @@ func (img *Image) GaussianBlur(sigma float64) *Image {
 	kernel := gaussianKernel(sigma)
 	half := len(kernel) / 2
 
-	// Horizontal pass into float buffers, then vertical pass.
+	// Interior pixels see the whole kernel, so their weight sum is the
+	// same everywhere; accumulate it once in kernel-index order — the same
+	// order the per-pixel loop uses — to keep the division bit-identical
+	// to summing it per pixel.
+	var ksum float64
+	for _, kv := range kernel {
+		ksum += kv
+	}
+
+	// Horizontal pass into pooled float planes, then vertical pass. Both
+	// passes run row-parallel: every output pixel is computed independently
+	// and in the same operation order as the serial loop, so the result
+	// does not depend on the worker count.
 	w, h := img.W, img.H
-	tmpR := make([]float64, w*h)
-	tmpG := make([]float64, w*h)
-	tmpB := make([]float64, w*h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			var r, g, b, wsum float64
-			for k, kv := range kernel {
-				sx := x + k - half
-				if sx < 0 || sx >= w {
-					continue
+	n := w * h
+	scratch := getFloats(3 * n)
+	tmpR := scratch[0*n : 1*n]
+	tmpG := scratch[1*n : 2*n]
+	tmpB := scratch[2*n : 3*n]
+	// Columns [lo, hi) have the whole kernel in bounds horizontally.
+	lo := min(half, w)
+	hi := max(w-half, lo)
+	parallelRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			base := y * w
+			row := img.Pix[base : base+w : base+w]
+			edge := func(x int) {
+				var r, g, b, wsum float64
+				for k, kv := range kernel {
+					sx := x + k - half
+					if sx < 0 || sx >= w {
+						continue
+					}
+					p := row[sx]
+					r += kv * float64(p.R)
+					g += kv * float64(p.G)
+					b += kv * float64(p.B)
+					wsum += kv
 				}
-				p := img.Pix[y*w+sx]
-				r += kv * float64(p.R)
-				g += kv * float64(p.G)
-				b += kv * float64(p.B)
-				wsum += kv
+				tmpR[base+x] = r / wsum
+				tmpG[base+x] = g / wsum
+				tmpB[base+x] = b / wsum
 			}
-			i := y*w + x
-			tmpR[i] = r / wsum
-			tmpG[i] = g / wsum
-			tmpB[i] = b / wsum
-		}
-	}
-	out := New(w, h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			var r, g, b, wsum float64
-			for k, kv := range kernel {
-				sy := y + k - half
-				if sy < 0 || sy >= h {
-					continue
+			for x := 0; x < lo; x++ {
+				edge(x)
+			}
+			for x := hi; x < w; x++ {
+				edge(x)
+			}
+			for x := lo; x < hi; x++ {
+				var r, g, b float64
+				for k, kv := range kernel {
+					p := row[x+k-half]
+					r += kv * float64(p.R)
+					g += kv * float64(p.G)
+					b += kv * float64(p.B)
 				}
-				i := sy*w + x
-				r += kv * tmpR[i]
-				g += kv * tmpG[i]
-				b += kv * tmpB[i]
-				wsum += kv
-			}
-			out.Pix[y*w+x] = colorspace.RGB{
-				R: clampRound(r / wsum),
-				G: clampRound(g / wsum),
-				B: clampRound(b / wsum),
+				tmpR[base+x] = r / ksum
+				tmpG[base+x] = g / ksum
+				tmpB[base+x] = b / ksum
 			}
 		}
-	}
+	})
+	out := newUncleared(w, h)
+	parallelRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			base := y * w
+			if y >= half && y < h-half {
+				// Interior rows: the whole kernel is in bounds vertically.
+				for x := 0; x < w; x++ {
+					var r, g, b float64
+					for k, kv := range kernel {
+						i := (y+k-half)*w + x
+						r += kv * tmpR[i]
+						g += kv * tmpG[i]
+						b += kv * tmpB[i]
+					}
+					out.Pix[base+x] = colorspace.RGB{
+						R: clampRound(r / ksum),
+						G: clampRound(g / ksum),
+						B: clampRound(b / ksum),
+					}
+				}
+				continue
+			}
+			for x := 0; x < w; x++ {
+				var r, g, b, wsum float64
+				for k, kv := range kernel {
+					sy := y + k - half
+					if sy < 0 || sy >= h {
+						continue
+					}
+					i := sy*w + x
+					r += kv * tmpR[i]
+					g += kv * tmpG[i]
+					b += kv * tmpB[i]
+					wsum += kv
+				}
+				out.Pix[base+x] = colorspace.RGB{
+					R: clampRound(r / wsum),
+					G: clampRound(g / wsum),
+					B: clampRound(b / wsum),
+				}
+			}
+		}
+	})
+	putFloats(scratch)
 	return out
 }
 
@@ -224,27 +390,44 @@ func (img *Image) MotionBlurHorizontal(length int) *Image {
 	if length <= 1 {
 		return img.Clone()
 	}
-	out := New(img.W, img.H)
+	out := newUncleared(img.W, img.H)
 	half := length / 2
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
+	w := img.W
+	// Sliding-window box sums make each row O(W) instead of O(W·length);
+	// integer arithmetic keeps the result identical to the naive kernel.
+	parallelRows(img.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			row := img.Pix[y*w : (y+1)*w : (y+1)*w]
+			orow := out.Pix[y*w : (y+1)*w : (y+1)*w]
 			var r, g, b, n int
-			for k := -half; k <= half; k++ {
-				sx := x + k
-				if sx < 0 || sx >= img.W {
-					continue
-				}
-				p := img.Pix[y*img.W+sx]
+			for sx := 0; sx <= half && sx < w; sx++ {
+				p := row[sx]
 				r += int(p.R)
 				g += int(p.G)
 				b += int(p.B)
 				n++
 			}
-			out.Pix[y*img.W+x] = colorspace.RGB{
-				R: uint8(r / n), G: uint8(g / n), B: uint8(b / n),
+			for x := 0; x < w; x++ {
+				orow[x] = colorspace.RGB{
+					R: uint8(r / n), G: uint8(g / n), B: uint8(b / n),
+				}
+				if sx := x - half; sx >= 0 {
+					p := row[sx]
+					r -= int(p.R)
+					g -= int(p.G)
+					b -= int(p.B)
+					n--
+				}
+				if sx := x + half + 1; sx < w {
+					p := row[sx]
+					r += int(p.R)
+					g += int(p.G)
+					b += int(p.B)
+					n++
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -279,25 +462,44 @@ func clampRound(v float64) uint8 {
 // Sharpness returns a scalar focus metric: the mean squared horizontal and
 // vertical luminance gradient. COBRA's blur assessment (§III-D) selects,
 // among captures of the same frame, the one with the highest sharpness.
+//
+// Rows are scored in parallel; each row accumulates its own partial sum
+// and the partials are reduced in row order, so the (fixed) floating-point
+// association is independent of the worker count.
 func (img *Image) Sharpness() float64 {
 	if img.W < 2 || img.H < 2 {
 		return 0
 	}
-	luma := func(p colorspace.RGB) float64 {
-		return 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
-	}
-	var sum float64
-	var n int
-	for y := 0; y < img.H-1; y++ {
-		for x := 0; x < img.W-1; x++ {
-			l := luma(img.Pix[y*img.W+x])
-			gx := luma(img.Pix[y*img.W+x+1]) - l
-			gy := luma(img.Pix[(y+1)*img.W+x]) - l
-			sum += gx*gx + gy*gy
-			n++
+	w := img.W
+	rowSums := getFloats(img.H - 1)
+	parallelRows(img.H-1, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			row := img.Pix[y*w : (y+1)*w : (y+1)*w]
+			below := img.Pix[(y+1)*w : (y+2)*w : (y+2)*w]
+			var sum float64
+			l := luma(row[0])
+			for x := 0; x < w-1; x++ {
+				lr := luma(row[x+1])
+				gx := lr - l
+				gy := luma(below[x]) - l
+				sum += gx*gx + gy*gy
+				l = lr
+			}
+			rowSums[y] = sum
 		}
+	})
+	var sum float64
+	for _, s := range rowSums {
+		sum += s
 	}
-	return sum / float64(n)
+	putFloats(rowSums)
+	return sum / float64((img.W-1)*(img.H-1))
+}
+
+// luma is the Rec. 601 luminance of a pixel, the gradient basis for
+// Sharpness.
+func luma(p colorspace.RGB) float64 {
+	return 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
 }
 
 // ToStdImage converts to an image.RGBA from the standard library.
@@ -362,18 +564,4 @@ func ReadPNGFile(path string) (*Image, error) {
 		return nil, fmt.Errorf("read png: %w", err)
 	}
 	return FromStdImage(src), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

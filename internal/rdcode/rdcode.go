@@ -268,10 +268,3 @@ func (c *Codec) xorParityFrame(group []*Frame) *Frame {
 	}
 	return f
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -173,10 +173,3 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 	}
 	return len(frames), disp.Duration(), nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -171,17 +171,3 @@ func RingVotes(img *raster.Image, cl colorspace.Classifier, p geometry.Point, dx
 	}
 	return counts
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
