@@ -8,8 +8,9 @@
 //
 //	rainbar-bench [-exp all|fig10a|fig10b|fig10c|fig10d|fig11|fig11c|
 //	               table1|fig12a|fig12b|capacity|localization|decode-time|
-//	               text-transfer|hsv-vs-rgb|sync-ablation]
+//	               text-transfer|hsv-vs-rgb|sync-ablation|faults]
 //	              [-frames N] [-seed N] [-workers N] [-full]
+//	              [-faults spec]
 //
 // Sweeps fan out across -workers goroutines (default: one per CPU); the
 // tables are bit-identical for every worker count, so -workers only trades
@@ -32,6 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", 0, "sweep-point workers (0 = one per CPU, 1 = serial)")
 		full    = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
+		fspec   = flag.String("faults", "", "extra fault-sweep condition, e.g. 'drop=0.2,occlude=0.1' (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	o.FaultSpec = *fspec
 
 	if err := run(*exp, o); err != nil {
 		fmt.Fprintln(os.Stderr, "rainbar-bench:", err)
@@ -75,6 +78,7 @@ func run(exp string, o experiment.Options) error {
 		{"alphabet", experiment.AlphabetRobustness},
 		{"loc-ablation", experiment.LocalizationAblation},
 		{"adaptive", experiment.AdaptiveBlockSize},
+		{"faults", experiment.FaultSweep},
 	}
 
 	ran := false

@@ -14,6 +14,7 @@ import (
 
 	"rainbar/internal/channel"
 	"rainbar/internal/colorspace"
+	"rainbar/internal/faults"
 	"rainbar/internal/raster"
 	"rainbar/internal/screen"
 )
@@ -35,6 +36,12 @@ type Camera struct {
 	TimingJitter time.Duration
 	// Seed drives the timing-jitter draws.
 	Seed int64
+	// Faults is an optional injector chain run on every capture after the
+	// photometric pass (nil disables). Capture k's faults are a pure
+	// function of (chain seed, k), where k numbers capture slots from the
+	// film start — dropped captures still consume their slot, so the fault
+	// pattern is independent of earlier faults.
+	Faults *faults.Chain
 }
 
 // Default returns the paper's receiver: 30 fps with near-full readout.
@@ -112,9 +119,14 @@ func (c Camera) Film(d *screen.Display, ch *channel.Channel) ([]Capture, error) 
 		if err != nil {
 			return nil, err
 		}
-		if cap != nil {
-			out = append(out, *cap)
+		if cap == nil {
+			continue
 		}
+		if !c.Faults.Apply(cap.Image, k) {
+			raster.Recycle(cap.Image)
+			continue // whole-frame loss: the decoder never sees it
+		}
+		out = append(out, *cap)
 	}
 	return out, nil
 }

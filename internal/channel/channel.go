@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"rainbar/internal/colorspace"
+	"rainbar/internal/faults"
 	"rainbar/internal/geometry"
 	"rainbar/internal/raster"
 )
@@ -191,6 +192,15 @@ func (c Config) ForwardMap(w, h int) (func(geometry.Point) geometry.Point, error
 type Channel struct {
 	cfg Config
 	rng *rand.Rand
+
+	// Faults is an optional injector chain run on every Capture after the
+	// photometric stage (nil disables). Fault decisions for capture k are a
+	// pure function of (chain seed, k) — see internal/faults — so they stay
+	// reproducible even though the channel's own PRNG is sequential.
+	Faults *faults.Chain
+
+	// captures counts Capture calls, indexing the fault chain.
+	captures int
 }
 
 // New creates a channel for the given condition.
@@ -422,8 +432,10 @@ func photom(v uint8, bright, contrast, ambient, noise float64) uint8 {
 }
 
 // Capture runs the full pipeline on a single displayed frame: geometry
-// then photometrics. This is what a global-shutter camera (or a rolling-
-// shutter camera with f_d <= f_c/2 and aligned timing) would produce.
+// then photometrics, then the optional fault-injection chain. This is what
+// a global-shutter camera (or a rolling-shutter camera with f_d <= f_c/2
+// and aligned timing) would produce. When the fault chain drops the
+// capture, Capture returns faults.ErrFrameDropped.
 func (ch *Channel) Capture(frame *raster.Image) (*raster.Image, error) {
 	warped, err := ch.Warp(frame)
 	if err != nil {
@@ -433,5 +445,15 @@ func (ch *Channel) Capture(frame *raster.Image) (*raster.Image, error) {
 	// Photometric always returns a fresh image (the blur output), so the
 	// warped intermediate can go back to the pool.
 	raster.Recycle(warped)
+	idx := ch.captures
+	ch.captures++
+	if !ch.Faults.Apply(out, idx) {
+		raster.Recycle(out)
+		return nil, ErrFrameDropped
+	}
 	return out, nil
 }
+
+// ErrFrameDropped aliases faults.ErrFrameDropped so channel callers can
+// test for injected whole-frame loss without importing faults.
+var ErrFrameDropped = faults.ErrFrameDropped

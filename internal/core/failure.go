@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+
+	"rainbar/internal/core/header"
+	"rainbar/internal/faults"
+)
+
+// ErrLocatorLost means progressive localization could not establish the
+// middle code-locator column (§III-E); corner trackers were found but the
+// geometric fix is unusable.
+var ErrLocatorLost = errors.New("core: code locators lost")
+
+// FailureClass buckets decode errors by the pipeline stage that gave up.
+// The transport session uses the classification to pick a recovery action:
+// stage failures that a slower display rate can heal (sync, header) argue
+// for rate fallback, while channel-level losses (detect) argue for plain
+// retransmission.
+type FailureClass string
+
+// The failure classes, in pipeline order.
+const (
+	// FailDropped: the capture never reached the decoder (injected
+	// whole-frame loss).
+	FailDropped FailureClass = "dropped"
+	// FailDetect: corner trackers not found (§III-C/D detection).
+	FailDetect FailureClass = "detect"
+	// FailLocate: code-locator localization failed (§III-E).
+	FailLocate FailureClass = "locate"
+	// FailHeader: header CRCs failed and the sequence was not inferable.
+	FailHeader FailureClass = "header"
+	// FailSync: tracking bars inconsistent with any plausible sequence
+	// (§III-D).
+	FailSync FailureClass = "sync"
+	// FailCorrect: RS correction or the frame checksum failed (§III-B).
+	FailCorrect FailureClass = "correct"
+	// FailOther: anything unrecognized (programming errors, I/O).
+	FailOther FailureClass = "other"
+)
+
+// String returns the class name.
+func (f FailureClass) String() string { return string(f) }
+
+// ClassifyFailure maps a decode-path error to its failure class. A nil
+// error has no class and returns "".
+func ClassifyFailure(err error) FailureClass {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, faults.ErrFrameDropped):
+		return FailDropped
+	case errors.Is(err, ErrNoCornerTrackers):
+		return FailDetect
+	case errors.Is(err, ErrLocatorLost):
+		return FailLocate
+	case errors.Is(err, ErrInconsistentBars):
+		return FailSync
+	case errors.Is(err, header.ErrCorrupt):
+		return FailHeader
+	case errors.Is(err, ErrBadFrame):
+		return FailCorrect
+	default:
+		return FailOther
+	}
+}

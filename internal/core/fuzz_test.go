@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/raster"
+)
+
+// fuzzCodec builds the standard small-geometry codec and one rendered
+// frame. Rendering happens once per fuzz process; every fuzz input then
+// corrupts a clone, so the decoder sees structured-but-wrong images — the
+// regime where parsing bugs hide — instead of pure noise it rejects at the
+// detector.
+func fuzzCodec(f *testing.F) (*Codec, *raster.Image) {
+	f.Helper()
+	geo, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := NewCodec(Config{Geometry: geo, DisplayRate: 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	payload := make([]byte, codec.FrameCapacity())
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	frame, err := codec.EncodeFrame(payload, 5, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return codec, frame.Render()
+}
+
+// corruptProgram interprets prog as a sequence of 8-byte mutation ops over
+// img: rectangle splats, row splices, brightness scaling and pixel noise.
+func corruptProgram(img *raster.Image, prog []byte, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i+8 <= len(prog); i += 8 {
+		op, a, b, c, d, r, g, bl := prog[i], prog[i+1], prog[i+2], prog[i+3], prog[i+4], prog[i+5], prog[i+6], prog[i+7]
+		switch op % 4 {
+		case 0: // rectangle splat
+			x := int(a) * img.W / 256
+			y := int(b) * img.H / 256
+			img.FillRect(x, y, 1+int(c)%96, 1+int(d)%96, colorspace.RGB{R: r, G: g, B: bl})
+		case 1: // row splice: replay rows from another offset
+			src := int(a) * img.H / 256
+			dst := int(b) * img.H / 256
+			n := 1 + int(c)%32
+			for k := 0; k < n && src+k < img.H && dst+k < img.H; k++ {
+				copy(img.Pix[(dst+k)*img.W:(dst+k+1)*img.W], img.Pix[(src+k)*img.W:(src+k+1)*img.W])
+			}
+		case 2: // brightness scale on a horizontal band
+			gain := 0.2 + float64(a)/64
+			y0 := int(b) * img.H / 256
+			y1 := y0 + 1 + int(c)%64
+			if y1 > img.H {
+				y1 = img.H
+			}
+			for p := y0 * img.W; p < y1*img.W; p++ {
+				px := img.Pix[p]
+				s := func(v uint8) uint8 {
+					f := float64(v) * gain
+					if f > 255 {
+						return 255
+					}
+					return uint8(f)
+				}
+				img.Pix[p] = colorspace.RGB{R: s(px.R), G: s(px.G), B: s(px.B)}
+			}
+		case 3: // salt-and-pepper noise
+			n := 16 + int(d)*8
+			for k := 0; k < n; k++ {
+				img.Pix[rng.Intn(len(img.Pix))] = colorspace.RGB{
+					R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256)),
+				}
+			}
+		}
+	}
+}
+
+// FuzzFrameDecode corrupts rendered frames (and crops of them) and runs the
+// full receive path. The decoder must reject with an error — never panic,
+// and never accept a frame whose payload fails the frame checksum.
+func FuzzFrameDecode(f *testing.F) {
+	codec, base := fuzzCodec(f)
+
+	f.Add(int64(1), []byte{}, false)
+	f.Add(int64(2), []byte{0, 10, 10, 40, 40, 255, 0, 0}, false)
+	f.Add(int64(3), []byte{1, 0, 128, 31, 0, 0, 0, 0, 3, 0, 0, 0, 200, 0, 0, 0}, false)
+	f.Add(int64(4), []byte{2, 200, 0, 63, 0, 0, 0, 0}, true)
+	f.Add(int64(5), []byte{120, 60}, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, prog []byte, shrink bool) {
+		img := base.Clone()
+		if shrink && len(prog) >= 2 {
+			// Crop to arbitrary (smaller) dimensions: partial captures and
+			// malformed inputs must not index out of bounds anywhere.
+			w := 1 + int(prog[0])
+			h := 1 + int(prog[1])
+			if w > img.W {
+				w = img.W
+			}
+			if h > img.H {
+				h = img.H
+			}
+			crop := raster.New(w, h)
+			for y := 0; y < h; y++ {
+				copy(crop.Pix[y*w:(y+1)*w], img.Pix[y*img.W:y*img.W+w])
+			}
+			img = crop
+		}
+		corruptProgram(img, prog, seed)
+
+		// Single-frame path.
+		if hdr, payload, err := codec.DecodeFrame(img); err == nil {
+			if hdr.Validate() != nil {
+				t.Fatalf("DecodeFrame accepted invalid header %+v", hdr)
+			}
+			if len(payload) != codec.FrameCapacity() {
+				t.Fatalf("DecodeFrame returned %d payload bytes, capacity %d", len(payload), codec.FrameCapacity())
+			}
+		}
+
+		// Receiver path (voting, partial frames, flush).
+		rx := NewReceiver(codec)
+		_ = rx.Ingest(img)
+		rx.Flush()
+		for _, df := range rx.Frames() {
+			if df.Err == nil && len(df.Payload) != codec.FrameCapacity() {
+				t.Fatalf("receiver produced %d payload bytes, capacity %d", len(df.Payload), codec.FrameCapacity())
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package header
+
+import (
+	"testing"
+
+	"rainbar/internal/colorspace"
+)
+
+// stripToBytes flattens a color strip for the fuzz corpus.
+func stripToBytes(strip []colorspace.Color) []byte {
+	b := make([]byte, len(strip))
+	for i, c := range strip {
+		b[i] = byte(c)
+	}
+	return b
+}
+
+// FuzzHeaderDecode feeds arbitrary color strips — including the repair
+// paths' worst inputs — through DecodeColors. The decoder may reject, but
+// must never panic, and anything it accepts must be a structurally valid,
+// re-encodable header.
+func FuzzHeaderDecode(f *testing.F) {
+	seed := Header{Seq: 1234, Last: true, DisplayRate: 10, AppType: 2, FrameChecksum: 0xBEEF}
+	for _, room := range []int{Blocks, 2 * Blocks, 2*Blocks + 5} {
+		strip, err := seed.EncodeColors(room)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(stripToBytes(strip))
+	}
+	// A valid strip with a corrupted unit exercises the substitution repair.
+	strip, _ := seed.EncodeColors(2 * Blocks)
+	strip[3], strip[7] = colorspace.Black, colorspace.Red
+	f.Add(stripToBytes(strip))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 8*Blocks {
+			raw = raw[:8*Blocks] // bound the repair search, not the surface
+		}
+		in := make([]colorspace.Color, len(raw))
+		for i, v := range raw {
+			in[i] = colorspace.Color(v % (colorspace.NumDataColors + 1)) // data colors + Black
+		}
+		hdr, err := DecodeColors(in)
+		if err != nil {
+			return
+		}
+		if err := hdr.Validate(); err != nil {
+			t.Fatalf("accepted header fails validation: %v (%+v)", err, hdr)
+		}
+		wire, err := hdr.Encode()
+		if err != nil {
+			t.Fatalf("accepted header does not re-encode: %v (%+v)", err, hdr)
+		}
+		if back, err := Decode(wire); err != nil || back != hdr {
+			t.Fatalf("re-encoded header round-trips to %+v (err %v), want %+v", back, err, hdr)
+		}
+	})
+}

@@ -198,7 +198,7 @@ func (c *Codec) findFirstMiddle(img *raster.Image, cl colorspace.Classifier, det
 			}
 		}
 	}
-	return geometry.Point{}, fmt.Errorf("core: first middle locator not found near (%.0f, %.0f)", p.X, p.Y)
+	return geometry.Point{}, fmt.Errorf("%w: first middle locator not found near (%.0f, %.0f)", ErrLocatorLost, p.X, p.Y)
 }
 
 // anchors computes, for a given grid row, the capture-space positions of

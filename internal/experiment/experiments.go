@@ -30,6 +30,9 @@ type Options struct {
 	// via seedAt and owns its codec/channel, and rows are emitted in sweep
 	// order regardless of completion order.
 	Workers int
+	// FaultSpec, when non-empty, adds a custom condition to the fault sweep
+	// (faults.ParseSpec syntax, e.g. "drop=0.2,occlude=0.1").
+	FaultSpec string
 }
 
 // DefaultOptions returns the standard configuration.

@@ -155,5 +155,8 @@ func All(o Options) ([]*Table, error) {
 	if err := add(AdaptiveBlockSize(o)); err != nil {
 		return nil, err
 	}
+	if err := add(FaultSweep(o)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

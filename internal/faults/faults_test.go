@@ -1,0 +1,375 @@
+package faults
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/raster"
+)
+
+// testImage builds a deterministic gradient so every test starts from the
+// same pixels without touching any encoder.
+func testImage(w, h int) *raster.Image {
+	img := raster.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Pix[y*w+x] = colorspace.RGB{
+				R: uint8((x * 7) % 256),
+				G: uint8((y * 13) % 256),
+				B: uint8((x + y) % 256),
+			}
+		}
+	}
+	return img
+}
+
+func fullChain(seed int64) *Chain {
+	return NewChain(seed,
+		FrameDrop{P: 0.1},
+		PartialFrame{P: 0.15, Splice: true},
+		PartialFrame{P: 0.1},
+		BurstBlocks{P: 0.2},
+		Occlusion{P: 0.25, Corners: true},
+		ExposureFlicker{Amplitude: 0.3},
+		SaturationClip{P: 0.1},
+	)
+}
+
+// hashRun applies the chain to nFrames gradient captures and digests the
+// surviving pixels together with the kept/dropped pattern.
+func hashRun(c *Chain, nFrames int) string {
+	h := sha256.New()
+	for k := 0; k < nFrames; k++ {
+		img := testImage(96, 64)
+		if c.Apply(img, k) {
+			fmt.Fprintf(h, "frame %d kept\n", k)
+			for _, p := range img.Pix {
+				h.Write([]byte{p.R, p.G, p.B})
+			}
+		} else {
+			fmt.Fprintf(h, "frame %d dropped\n", k)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestChainBitReproducible pins the exact output of a full chain for a
+// fixed seed. If this test fails, the determinism contract changed and
+// every recorded experiment with faults becomes unreproducible — do not
+// update the constant without understanding why it moved.
+func TestChainBitReproducible(t *testing.T) {
+	const want = "d37a1e4bb2dd444889b350ffb6affeced2f4555ecb2d8e18484712790d838418"
+	got := hashRun(fullChain(42), 40)
+	if got != want {
+		t.Fatalf("fault pattern for seed 42 changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestChainSameSeedSameOutput checks two independently built chains agree.
+func TestChainSameSeedSameOutput(t *testing.T) {
+	if a, b := hashRun(fullChain(7), 25), hashRun(fullChain(7), 25); a != b {
+		t.Fatalf("same seed, different output: %s vs %s", a, b)
+	}
+	if a, b := hashRun(fullChain(7), 25), hashRun(fullChain(8), 25); a == b {
+		t.Fatalf("different seeds produced identical output %s", a)
+	}
+}
+
+// TestFrameIndependence replays a single capture in isolation and checks it
+// matches the same capture inside a longer run: capture k's faults must be
+// a pure function of (seed, k).
+func TestFrameIndependence(t *testing.T) {
+	const k = 17
+	seq := fullChain(99)
+	var inSeq *raster.Image
+	seqKept := false
+	for f := 0; f <= k; f++ {
+		img := testImage(96, 64)
+		kept := seq.Apply(img, f)
+		if f == k {
+			inSeq, seqKept = img, kept
+		}
+	}
+	alone := testImage(96, 64)
+	aloneKept := fullChain(99).Apply(alone, k)
+	if seqKept != aloneKept {
+		t.Fatalf("kept mismatch: in-sequence %v, isolated %v", seqKept, aloneKept)
+	}
+	if !seqKept {
+		return
+	}
+	for i := range inSeq.Pix {
+		if inSeq.Pix[i] != alone.Pix[i] {
+			t.Fatalf("pixel %d differs: %v vs %v", i, inSeq.Pix[i], alone.Pix[i])
+		}
+	}
+}
+
+func TestNilChainIsNoOp(t *testing.T) {
+	var c *Chain
+	img := testImage(16, 16)
+	ref := testImage(16, 16)
+	if !c.Apply(img, 0) {
+		t.Fatal("nil chain dropped a frame")
+	}
+	for i := range img.Pix {
+		if img.Pix[i] != ref.Pix[i] {
+			t.Fatal("nil chain mutated the image")
+		}
+	}
+	if c.Drops() != 0 || c.Counters() != nil {
+		t.Fatal("nil chain reported activity")
+	}
+	if c.CloneFresh() != nil {
+		t.Fatal("nil chain cloned to non-nil")
+	}
+}
+
+func TestFrameDropAlwaysAndNever(t *testing.T) {
+	always := NewChain(1, FrameDrop{P: 1})
+	never := NewChain(1, FrameDrop{P: 0})
+	for k := 0; k < 10; k++ {
+		if always.Apply(testImage(8, 8), k) {
+			t.Fatalf("P=1 kept frame %d", k)
+		}
+		if !never.Apply(testImage(8, 8), k) {
+			t.Fatalf("P=0 dropped frame %d", k)
+		}
+	}
+	if always.Drops() != 10 {
+		t.Fatalf("drops = %d, want 10", always.Drops())
+	}
+	if always.Counters()["drop"] != 10 {
+		t.Fatalf("counters = %v, want drop:10", always.Counters())
+	}
+	if never.Counters() != nil {
+		t.Fatalf("P=0 recorded %v", never.Counters())
+	}
+}
+
+func TestTruncateBlanksBelowCut(t *testing.T) {
+	c := NewChain(3, PartialFrame{P: 1})
+	img := testImage(32, 40)
+	if !c.Apply(img, 0) {
+		t.Fatal("truncate dropped the frame")
+	}
+	// Find the first blank row; everything below must be blank, everything
+	// above untouched.
+	ref := testImage(32, 40)
+	cut := -1
+	for y := 0; y < img.H; y++ {
+		blank := true
+		for x := 0; x < img.W; x++ {
+			if img.Pix[y*img.W+x] != (colorspace.RGB{}) {
+				blank = false
+				break
+			}
+		}
+		if blank {
+			cut = y
+			break
+		}
+	}
+	if cut <= 0 {
+		t.Fatalf("no cut found (cut=%d)", cut)
+	}
+	for i := 0; i < cut*img.W; i++ {
+		if img.Pix[i] != ref.Pix[i] {
+			t.Fatalf("pixel %d above cut modified", i)
+		}
+	}
+	for i := cut * img.W; i < len(img.Pix); i++ {
+		if img.Pix[i] != (colorspace.RGB{}) {
+			t.Fatalf("pixel %d below cut not blank", i)
+		}
+	}
+}
+
+func TestSpliceReplaysTopRows(t *testing.T) {
+	c := NewChain(3, PartialFrame{P: 1, Splice: true})
+	img := testImage(32, 40)
+	ref := testImage(32, 40)
+	if !c.Apply(img, 0) {
+		t.Fatal("splice dropped the frame")
+	}
+	// Locate the cut: the first row differing from the reference.
+	cut := -1
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if img.Pix[y*img.W+x] != ref.Pix[y*img.W+x] {
+				cut = y
+				break
+			}
+		}
+		if cut >= 0 {
+			break
+		}
+	}
+	if cut <= 0 {
+		t.Fatalf("no splice cut found")
+	}
+	for y := cut; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if img.Pix[y*img.W+x] != ref.Pix[(y-cut)*img.W+x] {
+				t.Fatalf("row %d not a replay of row %d", y, y-cut)
+			}
+		}
+	}
+}
+
+func TestFlickerPureFunctionOfFrame(t *testing.T) {
+	e := ExposureFlicker{Amplitude: 0.35, PeriodFrames: 5}
+	a, b := testImage(16, 16), testImage(16, 16)
+	// Same frame index twice, even with nil rng: identical output.
+	e.Apply(a, 3, nil)
+	e.Apply(b, 3, nil)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("flicker not deterministic in frame index")
+		}
+	}
+	// Different phase in the period changes the image.
+	c := testImage(16, 16)
+	e.Apply(c, 4, nil)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("flicker ignored the frame index")
+	}
+}
+
+func TestSaturationClipSaturates(t *testing.T) {
+	c := NewChain(5, SaturationClip{P: 1, Gain: 4})
+	img := testImage(16, 16)
+	if !c.Apply(img, 0) {
+		t.Fatal("clip dropped the frame")
+	}
+	sat := 0
+	for _, p := range img.Pix {
+		if p.R == 255 || p.G == 255 || p.B == 255 {
+			sat++
+		}
+	}
+	if sat < len(img.Pix)/2 {
+		t.Fatalf("only %d/%d pixels saturated at gain 4", sat, len(img.Pix))
+	}
+}
+
+func TestOcclusionPaintsGray(t *testing.T) {
+	c := NewChain(11, Occlusion{P: 1, Corners: true})
+	img := testImage(120, 80)
+	if !c.Apply(img, 0) {
+		t.Fatal("occlusion dropped the frame")
+	}
+	gray := 0
+	for _, p := range img.Pix {
+		if p == (colorspace.RGB{R: 105, G: 105, B: 105}) {
+			gray++
+		}
+	}
+	if gray < 4 {
+		t.Fatalf("only %d gray pixels after occlusion", gray)
+	}
+}
+
+func TestCountersAndReset(t *testing.T) {
+	c := fullChain(13)
+	for k := 0; k < 30; k++ {
+		c.Apply(testImage(48, 32), k)
+	}
+	counts := c.Counters()
+	if len(counts) == 0 {
+		t.Fatal("no counters after 30 frames of a dense chain")
+	}
+	// Flicker fires on nearly every frame (gain != 1 off the zero crossings).
+	if counts["flicker"] == 0 {
+		t.Fatalf("flicker never counted: %v", counts)
+	}
+	// Counters() must be a copy.
+	counts["flicker"] = -1
+	if c.Counters()["flicker"] == -1 {
+		t.Fatal("Counters exposed internal state")
+	}
+	c.Reset()
+	if c.Counters() != nil || c.Drops() != 0 {
+		t.Fatal("Reset left counters")
+	}
+}
+
+func TestCloneFreshSharesPatternNotCounters(t *testing.T) {
+	a := fullChain(21)
+	_ = hashRun(a, 10)
+	b := a.CloneFresh()
+	if b.Counters() != nil || b.Drops() != 0 {
+		t.Fatal("CloneFresh carried counters")
+	}
+	if got, want := hashRun(b, 10), hashRun(fullChain(21), 10); got != want {
+		t.Fatal("CloneFresh changed the fault pattern")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		for _, spec := range []string{"", "drop=0", "drop=0,occlude=0"} {
+			c, err := ParseSpec(spec)
+			if err != nil || c != nil {
+				t.Fatalf("ParseSpec(%q) = %v, %v; want nil, nil", spec, c, err)
+			}
+		}
+	})
+	t.Run("canonical order", func(t *testing.T) {
+		a, err := ParseSpec("clip=0.1,drop=0.2,occlude=0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ParseSpec("occlude=0.3,clip=0.1,drop=0.2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("spec order changed the chain: %q vs %q", a, b)
+		}
+		if got, want := a.String(), "faults: drop occlude clip"; got != want {
+			t.Fatalf("chain = %q, want %q", got, want)
+		}
+		if ha, hb := hashRun(a, 15), hashRun(b, 15); ha != hb {
+			t.Fatal("equal specs produced different fault patterns")
+		}
+	})
+	t.Run("seed", func(t *testing.T) {
+		c, err := ParseSpec("drop=0.5,seed=77")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seed != 77 {
+			t.Fatalf("seed = %d, want 77", c.Seed)
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		for _, spec := range []string{"nope=0.1", "drop", "drop=1.5", "drop=-0.1", "drop=0.1x", "drop=0.1,"} {
+			if _, err := ParseSpec(spec); err == nil && spec != "drop=0.1," {
+				t.Errorf("ParseSpec(%q) accepted", spec)
+			}
+		}
+		if _, err := ParseSpec("drop=abc"); err == nil {
+			t.Error("non-numeric value accepted")
+		}
+	})
+	t.Run("all classes", func(t *testing.T) {
+		c, err := ParseSpec("drop=0.1,splice=0.1,truncate=0.1,burst=0.1,occlude=0.1,flicker=0.3,clip=0.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Injectors) != 7 {
+			t.Fatalf("%d injectors, want 7 (%s)", len(c.Injectors), c)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package integration
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/faults"
+	"rainbar/internal/transport"
+	"rainbar/internal/workload"
+)
+
+// faultConditions are the abrupt-failure regimes the transport must ride
+// out on top of the smooth channel degradations in `conditions`. Each keeps
+// expected whole-frame loss at or below 20%.
+var faultConditions = []struct {
+	name  string
+	chain func(seed int64) *faults.Chain
+}{
+	{"drop20", func(seed int64) *faults.Chain {
+		return faults.NewChain(seed, faults.FrameDrop{P: 0.20})
+	}},
+	{"splice", func(seed int64) *faults.Chain {
+		return faults.NewChain(seed, faults.PartialFrame{P: 0.25, Splice: true})
+	}},
+	{"occlude", func(seed int64) *faults.Chain {
+		return faults.NewChain(seed, faults.Occlusion{P: 0.3, Corners: true})
+	}},
+	{"combined", func(seed int64) *faults.Chain {
+		return faults.NewChain(seed,
+			faults.FrameDrop{P: 0.10},
+			faults.PartialFrame{P: 0.10, Splice: true},
+			faults.Occlusion{P: 0.15, Corners: true},
+			faults.ExposureFlicker{Amplitude: 0.15},
+		)
+	}},
+}
+
+func faultSession(t *testing.T, chain *faults.Chain) *transport.Session {
+	t.Helper()
+	geo, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.Default()
+	cam.Faults = chain
+	return &transport.Session{
+		Codec:     codec,
+		Link:      transport.Link{Channel: channel.MustNew(channel.DefaultConfig()), Camera: cam, DisplayRate: 10},
+		MaxRounds: 12,
+	}
+}
+
+// TestTransportSurvivesFaultMatrix asserts the acceptance bar: a text
+// transfer completes bit-exact under every fault condition (≤20% expected
+// frame loss), and the stats expose the injected faults.
+func TestTransportSurvivesFaultMatrix(t *testing.T) {
+	for _, fc := range faultConditions {
+		t.Run(fc.name, func(t *testing.T) {
+			s := faultSession(t, fc.chain(7))
+			want := workload.Text(3*s.Codec.FrameCapacity(), 11)
+			got, stats, err := s.Transfer(want)
+			if err != nil {
+				t.Fatalf("transfer under %s: %v (stats %+v)", fc.name, err, stats)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("payload not bit-exact under %s", fc.name)
+			}
+			if stats.FaultCounts == nil {
+				t.Fatalf("stats under %s report no fault activity: %+v", fc.name, stats)
+			}
+			t.Logf("%s: rounds=%d frames=%d/%d faults=%v dropped=%d failures=%v",
+				fc.name, stats.Rounds, stats.FramesSent, stats.FramesNeeded,
+				stats.FaultCounts, stats.FramesDropped, stats.DecodeFailures)
+		})
+	}
+}
+
+// TestTransportFaultRunsAreReproducible pins the determinism contract end
+// to end: two sessions over identically seeded links and fault chains must
+// produce identical stats, not just identical payloads.
+func TestTransportFaultRunsAreReproducible(t *testing.T) {
+	run := func() (*transport.Stats, []byte) {
+		s := faultSession(t, faultConditions[3].chain(21))
+		want := workload.Text(2*s.Codec.FrameCapacity(), 5)
+		got, stats, err := s.Transfer(want)
+		if err != nil {
+			t.Fatalf("transfer: %v", err)
+		}
+		return stats, got
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("identical seeds, different payloads")
+	}
+	if s1.Rounds != s2.Rounds || s1.FramesSent != s2.FramesSent || s1.FramesDropped != s2.FramesDropped {
+		t.Fatalf("identical seeds, different stats: %+v vs %+v", s1, s2)
+	}
+	for k, v := range s1.FaultCounts {
+		if s2.FaultCounts[k] != v {
+			t.Fatalf("fault counts diverged at %q: %v vs %v", k, s1.FaultCounts, s2.FaultCounts)
+		}
+	}
+}

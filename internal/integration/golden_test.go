@@ -1,0 +1,119 @@
+package integration
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/raster"
+	"rainbar/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_frames.json from current encoder output")
+
+const goldenPath = "testdata/golden_frames.json"
+
+// goldenMatrix is the fixed config/seed matrix whose rendered frames are
+// pinned. It crosses every known geometry with two sequence/payload points,
+// so any encoder change that moves a single pixel shows up here.
+func goldenMatrix(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, g := range knownGeometries {
+		geo, err := layout.NewGeometry(g.w, g.h, g.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range []struct {
+			seq  uint16
+			last bool
+			seed int64
+		}{
+			{0, false, 1},
+			{1000, true, 2},
+		} {
+			payload := workload.Random(codec.FrameCapacity(), pt.seed)
+			f, err := codec.EncodeFrame(payload, pt.seq, pt.last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := fmt.Sprintf("%dx%d-bs%d-seq%d-last%v-seed%d", g.w, g.h, g.bs, pt.seq, pt.last, pt.seed)
+			out[key] = hashImage(f.Render())
+		}
+	}
+	return out
+}
+
+func hashImage(img *raster.Image) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%dx%d\n", img.W, img.H)
+	for _, p := range img.Pix {
+		h.Write([]byte{p.R, p.G, p.B})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenFrameCorpus pins the encoder's rendered output bit-for-bit.
+// A failure means encoded frames changed: if intentional (layout or palette
+// change), regenerate with `go test ./internal/integration -run Golden
+// -update`; if not, the encoder regressed.
+func TestGoldenFrameCorpus(t *testing.T) {
+	got := goldenMatrix(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden hashes to %s", len(got), goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden corpus (regenerate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: missing from golden corpus (regenerate with -update)", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: rendered frame changed\n got %s\nwant %s", k, got[k], w)
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s: in golden corpus but no longer generated", k)
+		}
+	}
+}

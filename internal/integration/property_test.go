@@ -1,0 +1,126 @@
+package integration
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/faults"
+	"rainbar/internal/transport"
+	"rainbar/internal/workload"
+)
+
+// knownGeometries are screen/block combinations the layout accepts; the
+// property sweep draws from these rather than inventing invalid ones.
+var knownGeometries = []struct{ w, h, bs int }{
+	{640, 360, 10},
+	{640, 360, 12},
+	{640, 360, 14},
+	{480, 270, 10},
+}
+
+// TestPropertyTransferNeverSilentlyCorrupts is the system-level contract:
+// any randomized combination of payload, geometry, channel condition and
+// injected faults must either deliver the payload bit-exact or fail with an
+// error — a successful Transfer that returns different bytes is the one
+// outcome that must never happen.
+func TestPropertyTransferNeverSilentlyCorrupts(t *testing.T) {
+	iterations := 8
+	if testing.Short() {
+		iterations = 3
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	payloadGens := []func(int, int64) []byte{
+		workload.Text, workload.Random, workload.ImageLike, workload.AudioLike,
+	}
+
+	for i := 0; i < iterations; i++ {
+		g := knownGeometries[rng.Intn(len(knownGeometries))]
+		displayRate := float64(8 + rng.Intn(5))
+		geo, err := layout.NewGeometry(g.w, g.h, g.bs)
+		if err != nil {
+			t.Fatalf("iter %d: geometry %v: %v", i, g, err)
+		}
+		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(displayRate)})
+		if err != nil {
+			t.Fatalf("iter %d: codec: %v", i, err)
+		}
+
+		size := 1 + rng.Intn(3*codec.FrameCapacity())
+		payload := payloadGens[rng.Intn(len(payloadGens))](size, rng.Int63())
+
+		cfg := channel.DefaultConfig()
+		cfg.Seed = rng.Int63()
+		cfg.DistanceCM = 9 + 6*rng.Float64()
+		cfg.ViewAngleDeg = 15 * rng.Float64()
+		cfg.NoiseStdDev = 2 + 4*rng.Float64()
+
+		cam := camera.Default()
+		var spec string
+		if rng.Intn(2) == 1 {
+			cam.Faults = faults.NewChain(rng.Int63(),
+				faults.FrameDrop{P: 0.15 * rng.Float64()},
+				faults.Occlusion{P: 0.15 * rng.Float64(), Corners: true},
+				faults.ExposureFlicker{Amplitude: 0.2 * rng.Float64()},
+			)
+			spec = cam.Faults.String()
+		}
+
+		s := &transport.Session{
+			Codec:     codec,
+			Link:      transport.Link{Channel: channel.MustNew(cfg), Camera: cam, DisplayRate: displayRate},
+			MaxRounds: 10,
+		}
+		got, stats, err := s.Transfer(payload)
+		if err != nil {
+			// A classified failure is an acceptable outcome of a randomized
+			// condition; silent corruption is not.
+			t.Logf("iter %d: geo=%v rate=%.0f size=%d %s: classified failure: %v",
+				i, g, displayRate, size, spec, err)
+			continue
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("iter %d: SILENT CORRUPTION: geo=%v rate=%.0f size=%d %s (stats %+v)",
+				i, g, displayRate, size, spec, stats)
+		}
+	}
+}
+
+// TestPropertyFrameRoundTripExact checks the codec alone: over random
+// geometry, sequence and payload, encode→render→decode with no channel in
+// between must be the identity.
+func TestPropertyFrameRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 12; i++ {
+		g := knownGeometries[rng.Intn(len(knownGeometries))]
+		geo, err := layout.NewGeometry(g.w, g.h, g.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codec, err := core.NewCodec(core.Config{Geometry: geo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(codec.FrameCapacity())
+		want := workload.Random(n, rng.Int63())
+		seq := uint16(rng.Intn(1 << 15))
+		f, err := codec.EncodeFrame(want, seq, rng.Intn(2) == 1)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", i, err)
+		}
+		hdr, got, err := codec.DecodeFrame(f.Render())
+		if err != nil {
+			t.Fatalf("iter %d: decode of pristine render: %v", i, err)
+		}
+		if hdr.Seq != seq {
+			t.Fatalf("iter %d: seq %d -> %d", i, seq, hdr.Seq)
+		}
+		if !bytes.Equal(got[:n], want) {
+			t.Fatalf("iter %d: payload mismatch on pristine render", i)
+		}
+	}
+}

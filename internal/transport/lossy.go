@@ -90,6 +90,9 @@ func (s *Session) TransferLossy(data []byte) ([]byte, *LossyStats, error) {
 	if err := s.Link.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if s.MaxRounds < 0 {
+		return nil, nil, fmt.Errorf("transport: MaxRounds %d is negative; zero means default", s.MaxRounds)
+	}
 	maxRounds := s.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 2
@@ -106,16 +109,21 @@ func (s *Session) TransferLossy(data []byte) ([]byte, *LossyStats, error) {
 	}
 	collector := NewCollector()
 	stats := &LossyStats{Stats: Stats{FramesNeeded: nChunks, App: Classify(data)}}
+	faultBase, dropBase := s.faultBaseline()
 	var nextSeq uint16
 
 	for round := 1; round <= maxRounds && len(missing) > 0; round++ {
 		stats.Rounds = round
-		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector)
+		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, s.Link.DisplayRate, &stats.Stats)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats.FramesSent += sent
 		stats.AirTime += airTime
+		if stats.RateRounds == nil {
+			stats.RateRounds = make(map[float64]int)
+		}
+		stats.RateRounds[s.Link.DisplayRate]++
 		if m := collector.Missing(); m != nil {
 			missing = m
 		}
@@ -123,6 +131,8 @@ func (s *Session) TransferLossy(data []byte) ([]byte, *LossyStats, error) {
 			missing = nil
 		}
 	}
+	stats.FinalDisplayRate = s.Link.DisplayRate
+	s.faultDelta(&stats.Stats, faultBase, dropBase)
 
 	result, _, report, err := collector.FileWithConcealment()
 	if err != nil {

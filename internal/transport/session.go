@@ -39,7 +39,8 @@ func (l Link) Validate() error {
 	return l.Camera.Validate()
 }
 
-// Stats summarizes a completed transfer.
+// Stats summarizes a completed transfer, including how much the session
+// had to degrade to finish.
 type Stats struct {
 	// Rounds is the number of display rounds (1 = no retransmission).
 	Rounds int
@@ -53,16 +54,94 @@ type Stats struct {
 	Goodput float64
 	// App is the classified application type.
 	App AppType
+
+	// RateRounds counts display rounds at each rate; more than one key
+	// means rate fallback engaged (§IV-D's rate-adaptation knob).
+	RateRounds map[float64]int
+	// RateFallbacks counts rate-reduction recovery actions taken.
+	RateFallbacks int
+	// FinalDisplayRate is the rate in effect when the transfer ended.
+	FinalDisplayRate float64
+	// DecodeFailures tallies capture decode errors by pipeline stage
+	// across all rounds (receiver feedback, classified by core).
+	DecodeFailures map[core.FailureClass]int
+	// FaultCounts tallies injected faults by class during this transfer
+	// (only populated when the link's camera carries an injector chain).
+	FaultCounts map[string]int
+	// FramesDropped counts captures lost to injected whole-frame loss.
+	FramesDropped int
 }
 
-// Session transfers files over a screen-camera link with retransmission.
+// addFailure records one classified decode failure.
+func (s *Stats) addFailure(c core.FailureClass) {
+	if c == "" {
+		return
+	}
+	if s.DecodeFailures == nil {
+		s.DecodeFailures = make(map[core.FailureClass]int)
+	}
+	s.DecodeFailures[c]++
+}
+
+// Session transfers files over a screen-camera link with retransmission
+// and graceful degradation: rounds that make no progress trigger a display
+// rate fallback, and the total retransmission volume is bounded by a frame
+// budget rather than rounds alone.
 type Session struct {
 	// Codec is the RainBar codec shared by both ends.
 	Codec *core.Codec
 	// Link is the optical path.
 	Link Link
-	// MaxRounds bounds retransmission rounds (default 8).
+	// MaxRounds bounds retransmission rounds (default 8). Negative values
+	// are a configuration error.
 	MaxRounds int
+	// MinDisplayRate floors the rate-fallback ladder (default 6 fps — the
+	// bottom of the paper's display-rate sweep — clamped to the link rate).
+	MinDisplayRate float64
+	// StallRounds is how many consecutive no-progress rounds trigger a
+	// rate fallback (default 2).
+	StallRounds int
+	// FrameBudget caps the total frames displayed across all rounds
+	// (default MaxRounds x chunks, the flat loop's worst case). When the
+	// budget runs out the transfer fails with the budget in the error.
+	FrameBudget int
+}
+
+// rateBackoff is the multiplicative rate reduction per fallback. The
+// paper's knob is the display rate f_d (§IV-D): decoding rate degrades
+// with f_d, so when rounds stall the sender trades throughput for
+// per-frame reliability.
+const rateBackoff = 0.6
+
+// plan resolves the session's degradation knobs against the payload.
+type plan struct {
+	maxRounds int
+	minRate   float64
+	stallN    int
+	budget    int
+}
+
+func (s *Session) plan(nChunks int) (plan, error) {
+	if s.MaxRounds < 0 {
+		return plan{}, fmt.Errorf("transport: MaxRounds %d is negative; zero means default", s.MaxRounds)
+	}
+	p := plan{maxRounds: s.MaxRounds, minRate: s.MinDisplayRate, stallN: s.StallRounds, budget: s.FrameBudget}
+	if p.maxRounds == 0 {
+		p.maxRounds = 8
+	}
+	if p.minRate <= 0 {
+		p.minRate = 6
+	}
+	if p.minRate > s.Link.DisplayRate {
+		p.minRate = s.Link.DisplayRate
+	}
+	if p.stallN <= 0 {
+		p.stallN = 2
+	}
+	if p.budget <= 0 {
+		p.budget = p.maxRounds * nChunks
+	}
+	return p, nil
 }
 
 // Transfer sends data end to end and returns the receiver's reconstruction
@@ -75,16 +154,16 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 	if err := s.Link.Validate(); err != nil {
 		return nil, nil, err
 	}
-	maxRounds := s.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 8
-	}
 
 	fc := FileCodec{Codec: s.Codec}
 	if fc.ChunkSize() <= 0 {
 		return nil, nil, fmt.Errorf("transport: frame capacity %d too small for chunk prefix", s.Codec.FrameCapacity())
 	}
 	nChunks := fc.NumChunks(len(data))
+	p, err := s.plan(nChunks)
+	if err != nil {
+		return nil, nil, err
+	}
 	missing := make([]int, nChunks)
 	for i := range missing {
 		missing[i] = i
@@ -92,28 +171,57 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 
 	collector := NewCollector()
 	stats := &Stats{FramesNeeded: nChunks, App: Classify(data)}
+	faultBase, dropBase := s.faultBaseline()
 	var nextSeq uint16
 
-	for round := 1; round <= maxRounds && len(missing) > 0; round++ {
+	rate := s.Link.DisplayRate
+	stall := 0
+	for round := 1; round <= p.maxRounds && len(missing) > 0; round++ {
+		if stats.FramesSent+len(missing) > p.budget {
+			break // the next round would blow the retransmission budget
+		}
 		stats.Rounds = round
-		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector)
+		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, rate, stats)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats.FramesSent += sent
 		stats.AirTime += airTime
+		if stats.RateRounds == nil {
+			stats.RateRounds = make(map[float64]int)
+		}
+		stats.RateRounds[rate]++
 
 		// Receiver feedback: the still-missing chunk indices.
+		before := len(missing)
 		if m := collector.Missing(); m != nil {
 			missing = m
 		}
 		if collector.Complete() {
 			missing = nil
 		}
+
+		// Graceful degradation: consecutive rounds that recover nothing
+		// mean the link cannot sustain this display rate; back the rate
+		// off (the paper's rate-adaptation knob) instead of burning the
+		// remaining rounds on identical failures.
+		if len(missing) > 0 && len(missing) >= before {
+			stall++
+		} else {
+			stall = 0
+		}
+		if stall >= p.stallN && rate > p.minRate {
+			rate = max(p.minRate, rate*rateBackoff)
+			stats.RateFallbacks++
+			stall = 0
+		}
 	}
+	stats.FinalDisplayRate = rate
+	s.faultDelta(stats, faultBase, dropBase)
 
 	if len(missing) > 0 {
-		return nil, stats, fmt.Errorf("transport: %d/%d chunks undelivered after %d rounds", len(missing), nChunks, stats.Rounds)
+		return nil, stats, fmt.Errorf("transport: %d/%d chunks undelivered after %d rounds (%d/%d frame budget)",
+			len(missing), nChunks, stats.Rounds, stats.FramesSent, p.budget)
 	}
 	result, gotApp, err := collector.File()
 	if err != nil {
@@ -128,11 +236,36 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 	return result, stats, nil
 }
 
-// sendRound displays the given chunks once, films them through the link,
-// and feeds every decoded frame into the collector. Sequence numbers
-// continue across rounds so consecutively displayed frames keep
-// consecutive tracking-bar colors.
-func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *uint16, collector *Collector) (framesSent int, airTime time.Duration, err error) {
+// faultBaseline snapshots the camera's injector-chain counters so the
+// transfer can report only its own fault exposure.
+func (s *Session) faultBaseline() (map[string]int, int) {
+	ch := s.Link.Camera.Faults
+	return ch.Counters(), ch.Drops()
+}
+
+// faultDelta folds the injector-chain activity since base into stats.
+func (s *Session) faultDelta(stats *Stats, base map[string]int, dropBase int) {
+	ch := s.Link.Camera.Faults
+	if ch == nil {
+		return
+	}
+	for k, v := range ch.Counters() {
+		if d := v - base[k]; d > 0 {
+			if stats.FaultCounts == nil {
+				stats.FaultCounts = make(map[string]int)
+			}
+			stats.FaultCounts[k] = d
+		}
+	}
+	stats.FramesDropped = ch.Drops() - dropBase
+}
+
+// sendRound displays the given chunks once at the given display rate,
+// films them through the link, and feeds every decoded frame into the
+// collector. Sequence numbers continue across rounds so consecutively
+// displayed frames keep consecutive tracking-bar colors. Decode failures
+// reported by the receiver are classified into stats.
+func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *uint16, collector *Collector, rate float64, stats *Stats) (framesSent int, airTime time.Duration, err error) {
 	nChunks := fc.NumChunks(len(data))
 	frames := make([]*raster.Image, 0, len(chunks))
 	for _, ci := range chunks {
@@ -148,7 +281,7 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 		frames = append(frames, f.Render())
 	}
 
-	disp, err := screen.NewDisplay(frames, s.Link.DisplayRate, 0)
+	disp, err := screen.NewDisplay(frames, rate, 0)
 	if err != nil {
 		return 0, 0, fmt.Errorf("transport: %w", err)
 	}
@@ -160,12 +293,16 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 	}
 	rx := core.NewReceiver(s.Codec)
 	for i := range caps {
-		// Individual captures may fail; the stream continues.
-		_ = rx.Ingest(caps[i].Image)
+		// Individual captures may fail; the stream continues, but the
+		// failure class feeds the degradation policy's accounting.
+		if err := rx.Ingest(caps[i].Image); err != nil {
+			stats.addFailure(core.ClassifyFailure(err))
+		}
 	}
 	rx.Flush()
 	for _, df := range rx.Frames() {
 		if df.Err != nil {
+			stats.addFailure(core.ClassifyFailure(df.Err))
 			continue
 		}
 		// Malformed payloads are simply not collected.

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/faults"
+	"rainbar/internal/raster"
+	"rainbar/internal/workload"
+)
+
+func TestTransferRejectsNegativeMaxRounds(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	s.MaxRounds = -1
+	if _, _, err := s.Transfer([]byte("x")); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("Transfer with MaxRounds=-1: %v", err)
+	}
+	if _, _, err := s.TransferLossy([]byte("x")); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("TransferLossy with MaxRounds=-1: %v", err)
+	}
+}
+
+func TestTransferFrameBudgetEnforced(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	want := workload.Text(3*s.Codec.FrameCapacity(), 42) // 4 chunks with manifest
+	s.FrameBudget = 2                                    // less than one round's worth
+	_, stats, err := s.Transfer(want)
+	if err == nil {
+		t.Fatal("transfer completed inside an impossible frame budget")
+	}
+	if !strings.Contains(err.Error(), "frame budget") {
+		t.Fatalf("error does not mention the budget: %v", err)
+	}
+	if stats.FramesSent != 0 {
+		t.Fatalf("sent %d frames past the budget", stats.FramesSent)
+	}
+}
+
+// dropFirstN is a test-only injector that kills the first n captures it
+// sees, stalling early rounds so the degradation policy must engage. It is
+// deliberately stateful (not seed-pure) — it exists to exercise the
+// session's recovery path deterministically, not to model a fault.
+type dropFirstN struct{ n *int }
+
+func (dropFirstN) Name() string { return "blackout" }
+
+func (d dropFirstN) Apply(_ *raster.Image, _ int, _ *rand.Rand) faults.Outcome {
+	if *d.n > 0 {
+		*d.n--
+		return faults.OutcomeDropped
+	}
+	return faults.OutcomeNone
+}
+
+func TestTransferRateFallbackRecoversFromBlackout(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	remaining := 40 // roughly the first two rounds of captures
+	s.Link.Camera.Faults = faults.NewChain(1, dropFirstN{n: &remaining})
+	s.StallRounds = 1
+	s.MaxRounds = 10
+	want := workload.Text(3*s.Codec.FrameCapacity(), 9)
+	s.FrameBudget = 1000 // generous; rounds bound the loop
+
+	got, stats, err := s.Transfer(want)
+	if err != nil {
+		t.Fatalf("transfer never recovered from blackout: %v (stats %+v)", err, stats)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload not bit-exact after recovery")
+	}
+	if stats.RateFallbacks == 0 {
+		t.Fatalf("blackout rounds did not trigger rate fallback (stats %+v)", stats)
+	}
+	if len(stats.RateRounds) < 2 {
+		t.Fatalf("RateRounds = %v, want rounds at 2+ rates", stats.RateRounds)
+	}
+	if stats.FinalDisplayRate >= s.Link.DisplayRate {
+		t.Fatalf("final rate %.2f did not fall below link rate %.2f", stats.FinalDisplayRate, s.Link.DisplayRate)
+	}
+	if stats.FramesDropped == 0 {
+		t.Fatalf("FramesDropped = 0 despite blackout (stats %+v)", stats)
+	}
+	if stats.FaultCounts["blackout"] == 0 {
+		t.Fatalf("FaultCounts = %v, want blackout entries", stats.FaultCounts)
+	}
+	t.Logf("recovered: rounds=%d fallbacks=%d rates=%v dropped=%d",
+		stats.Rounds, stats.RateFallbacks, stats.RateRounds, stats.FramesDropped)
+}
+
+func TestTransferMinDisplayRateFloorsFallback(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	never := 1 << 30
+	s.Link.Camera.Faults = faults.NewChain(1, dropFirstN{n: &never})
+	s.StallRounds = 1
+	s.MaxRounds = 6
+	s.MinDisplayRate = 8
+	want := workload.Text(s.Codec.FrameCapacity(), 3)
+	_, stats, err := s.Transfer(want)
+	if err == nil {
+		t.Fatal("total blackout delivered data")
+	}
+	if stats.FinalDisplayRate < s.MinDisplayRate {
+		t.Fatalf("rate %.2f fell below floor %.2f", stats.FinalDisplayRate, s.MinDisplayRate)
+	}
+	for r := range stats.RateRounds {
+		if r < s.MinDisplayRate {
+			t.Fatalf("displayed a round at %.2f, below floor %.2f", r, s.MinDisplayRate)
+		}
+	}
+}
+
+func TestTransferStatsUnderInjectedFaults(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	s.Link.Camera.Faults = faults.NewChain(5,
+		faults.FrameDrop{P: 0.15},
+		faults.Occlusion{P: 0.2, Corners: true},
+	)
+	s.MaxRounds = 12
+	want := workload.Text(3*s.Codec.FrameCapacity(), 21)
+	got, stats, err := s.Transfer(want)
+	if err != nil {
+		t.Fatalf("transfer under faults: %v (stats %+v)", err, stats)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload not bit-exact under faults")
+	}
+	if stats.FaultCounts == nil {
+		t.Fatalf("no fault accounting (stats %+v)", stats)
+	}
+	total := 0
+	for r, n := range stats.RateRounds {
+		if r <= 0 || n <= 0 {
+			t.Fatalf("bad RateRounds entry %v:%v", r, n)
+		}
+		total += n
+	}
+	if total != stats.Rounds {
+		t.Fatalf("RateRounds sums to %d, Rounds = %d", total, stats.Rounds)
+	}
+	t.Logf("faulty link: rounds=%d faults=%v dropped=%d failures=%v",
+		stats.Rounds, stats.FaultCounts, stats.FramesDropped, stats.DecodeFailures)
+}
+
+// TestTransferFaultAccountingIsolated checks a session only reports its own
+// fault exposure even when the chain carries counts from a previous run.
+func TestTransferFaultAccountingIsolated(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	chain := faults.NewChain(5, faults.FrameDrop{P: 0.1})
+	s.Link.Camera.Faults = chain
+	want := workload.Text(s.Codec.FrameCapacity(), 4)
+	if _, _, err := s.Transfer(want); err != nil {
+		t.Fatalf("first transfer: %v", err)
+	}
+	afterFirst := chain.Drops()
+	_, stats, err := s.Transfer(want)
+	if err != nil {
+		t.Fatalf("second transfer: %v", err)
+	}
+	if stats.FramesDropped != chain.Drops()-afterFirst {
+		t.Fatalf("second transfer reported %d drops, chain delta is %d",
+			stats.FramesDropped, chain.Drops()-afterFirst)
+	}
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI verify recipe: build, tests, then the full suite under the race
-# detector. The race step is what protects the parallel experiment engine
-# and the row-parallel raster kernels — run it before every merge.
+# CI verify recipe: build, tests, the full suite under the race detector,
+# then a short fuzz smoke pass. The race step is what protects the parallel
+# experiment engine and the row-parallel raster kernels; the fuzz steps keep
+# the decode paths panic-free on corrupt input (Go runs one fuzz target per
+# invocation, hence one line each). Run before every merge.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +12,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+go test -fuzz=FuzzHeaderDecode -fuzztime=10s ./internal/core/header
+go test -fuzz=FuzzRSDecode -fuzztime=10s ./internal/rs
+go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/core
