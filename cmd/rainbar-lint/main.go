@@ -1,0 +1,89 @@
+// Command rainbar-lint runs the repository's contract analyzers
+// (internal/analysis) over every package in the module: determinism
+// (RB-D1..D3), error discipline (RB-E1..E3), float equality (RB-F1), and
+// pool/goroutine hygiene (RB-C1..C2). See DESIGN.md §8 for the rule table.
+//
+// Usage:
+//
+//	rainbar-lint [-dir <module root>] [./...]
+//
+// The whole module is always analyzed; the optional ./... argument is
+// accepted for CI-invocation symmetry with go vet. Exit codes: 0 clean,
+// 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rainbar/internal/analysis"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rainbar-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory inside the module to lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "rainbar-lint: unsupported pattern %q (the whole module is always analyzed; use ./...)\n", pat)
+			return 2
+		}
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "rainbar-lint:", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "rainbar-lint:", err)
+		return 2
+	}
+	findings := analysis.NewRunner().Run(pkgs)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, shorten(root, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "rainbar-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// shorten rewrites a finding's filename relative to the module root so
+// output is stable regardless of where the tool runs.
+func shorten(root string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

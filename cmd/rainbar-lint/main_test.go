@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one contract package.
+func writeModule(t *testing.T, body string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module m\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "faults")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "faults.go"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	root := writeModule(t, `package faults
+
+import "math/rand"
+
+// NewRNG returns a locally seeded generator.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`)
+	code, stdout, stderr := runLint(t, "-dir", root, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d (stdout %q, stderr %q), want 0", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run should print nothing, got %q", stdout)
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	root := writeModule(t, `package faults
+
+import "math/rand"
+
+// Roll draws from the process-global generator: a determinism breach.
+func Roll() int { return rand.Intn(6) }
+`)
+	code, stdout, _ := runLint(t, "-dir", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout %q)", code, stdout)
+	}
+	if !strings.Contains(stdout, "RB-D2") || !strings.Contains(stdout, "faults.go:6") {
+		t.Fatalf("diagnostic missing rule ID or position: %q", stdout)
+	}
+	if !strings.Contains(stdout, "1 finding(s)") {
+		t.Fatalf("missing summary line: %q", stdout)
+	}
+}
+
+func TestExitLoadErrorIsTwo(t *testing.T) {
+	root := writeModule(t, "package faults\n\nfunc broken( {\n")
+	code, _, stderr := runLint(t, "-dir", root)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr %q)", code, stderr)
+	}
+	if stderr == "" {
+		t.Fatal("load error should be reported on stderr")
+	}
+}
+
+func TestExitTypeErrorIsTwo(t *testing.T) {
+	root := writeModule(t, "package faults\n\nvar X undefinedType\n")
+	code, _, stderr := runLint(t, "-dir", root)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr %q)", code, stderr)
+	}
+}
+
+func TestExitBadUsageIsTwo(t *testing.T) {
+	if code, _, _ := runLint(t, "./internal/..."); code != 2 {
+		t.Fatalf("unsupported pattern: exit = %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, "-dir", filepath.Join(os.TempDir(), "definitely-not-a-module")); code != 2 {
+		t.Fatalf("missing module: exit = %d, want 2", code)
+	}
+}
+
+// TestRelativePositions pins that diagnostics are module-root relative so
+// CI output is stable across checkouts.
+func TestRelativePositions(t *testing.T) {
+	root := writeModule(t, `package faults
+
+import "time"
+
+// Stamp reads the wall clock inside a contract package.
+func Stamp() time.Time { return time.Now() }
+`)
+	code, stdout, _ := runLint(t, "-dir", root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout %q)", code, stdout)
+	}
+	wantPrefix := filepath.Join("internal", "faults", "faults.go") + ":"
+	if !strings.HasPrefix(stdout, wantPrefix) {
+		t.Fatalf("diagnostic not module-relative: %q (want prefix %q)", stdout, wantPrefix)
+	}
+}

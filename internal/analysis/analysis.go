@@ -1,0 +1,280 @@
+// Package analysis is rainbar-lint's engine: a stdlib-only static-analysis
+// suite (go/parser + go/ast + go/types, no external dependencies) that
+// machine-enforces the repository's written contracts:
+//
+//   - determinism — contract packages (faults, experiment, channel, camera,
+//     core, transport) must be bit-reproducible functions of (seed, index):
+//     no wall clock, no global math/rand, no map-iteration order leaking
+//     into emitted rows or returned slices (RB-D1..D3);
+//   - error discipline — sentinel errors are matched with errors.Is, wrapped
+//     with %w, and the decode/transport pipeline never panics outside
+//     Must* constructors (RB-E1..E3);
+//   - float equality — no ==/!= on floating-point operands outside tests
+//     (RB-F1);
+//   - pool/goroutine hygiene — sync.Pool values return to their pool on
+//     every path, and goroutines started in loops do not capture state the
+//     loop keeps mutating (RB-C1..C2).
+//
+// Each rule lives in its own file and registers an *Analyzer; the shared
+// core here provides the Pass plumbing, the suppression directives, and the
+// Finding type. Directives:
+//
+//	//lint:ordered <reason>             suppress RB-D3 (iteration order immaterial)
+//	//lint:allow <RULE-ID> <reason>     suppress one rule on this / the next line
+//	//lint:file-allow <RULE-ID> <reason> suppress one rule for the whole file
+//
+// A directive with no reason is itself reported (RB-X1): every escape hatch
+// must say why the invariant holds anyway.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a stable rule ID, a position, and a message.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Msg, f.Rule)
+}
+
+// Analyzer is one rule. Run inspects the Pass and reports findings via
+// Pass.Report; the runner handles suppression and ordering.
+type Analyzer struct {
+	ID  string // stable rule ID, e.g. "RB-D1"
+	Doc string // one-line invariant description
+	Run func(*Pass)
+}
+
+// Config selects which packages each contract applies to and which
+// pool accessors must be paired.
+type Config struct {
+	// ContractRoots are the determinism-contract packages, keyed by the
+	// first path segment after "internal/" (or the last segment for
+	// packages outside internal/). RB-D1..D3 only fire inside these.
+	ContractRoots map[string]bool
+	// DecodeRoots are the decode/transport-pipeline packages where panic
+	// is forbidden outside Must* constructors (RB-E3).
+	DecodeRoots map[string]bool
+	// PoolPairs maps pool-accessor function names to the call that must
+	// return the value (RB-C1), in addition to sync.Pool.Get/Put proper.
+	PoolPairs map[string]string
+}
+
+// DefaultConfig returns the repository's contract configuration.
+func DefaultConfig() Config {
+	return Config{
+		ContractRoots: map[string]bool{
+			"faults": true, "experiment": true, "channel": true,
+			"camera": true, "core": true, "transport": true,
+		},
+		DecodeRoots: map[string]bool{
+			"core": true, "rdcode": true, "cobra": true,
+			"lightsync": true, "transport": true,
+		},
+		PoolPairs: map[string]string{
+			"GetFloats": "PutFloats",
+		},
+	}
+}
+
+// contractKey reduces an import path to the segment the Config roots are
+// keyed by: the segment after "internal" when present, else the last one.
+// External test units ("..._test") map to their subject package.
+func contractKey(path string) string {
+	segs := strings.Split(path, "/")
+	key := segs[len(segs)-1]
+	for i, s := range segs {
+		if s == "internal" && i+1 < len(segs) {
+			key = segs[i+1]
+			break
+		}
+	}
+	return strings.TrimSuffix(key, "_test")
+}
+
+// Pass is one package's worth of analysis input plus the finding sink.
+type Pass struct {
+	Fset     *token.FileSet
+	Pkg      *Package
+	Config   Config
+	Contract bool // subject to determinism rules (RB-D*)
+	Decode   bool // subject to the panic guard (RB-E3)
+
+	rule     string // ID of the analyzer currently running
+	findings *[]Finding
+	suppress map[string]map[int]map[string]bool // file -> line -> rule IDs
+}
+
+// NonTestFiles yields the package's non-test files; most rules scope to
+// these (test code exercises the contracts rather than carrying them).
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Pkg.Files {
+		if !p.Pkg.TestFile[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Report records a finding for the current rule unless a directive
+// suppresses it on this line or the line above.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(p.rule, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Rule: p.rule,
+		Pos:  position,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(rule string, pos token.Position) bool {
+	lines := p.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line (trailing comment)
+	// and on the line below (standalone comment above the statement);
+	// file-allow directives are recorded under the whole-file pseudo-line.
+	for _, l := range []int{pos.Line, pos.Line - 1, wholeFile} {
+		if lines[l][rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeOf is shorthand for the package's types.Info.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// PkgFunc reports whether call invokes pkgPath.name (a package-level
+// function accessed through its import), e.g. PkgFunc(call, "time", "Now").
+func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return p.IsPkgIdent(sel.X, pkgPath)
+}
+
+// IsPkgIdent reports whether e is an identifier denoting the import of
+// pkgPath in this file (not a shadowing local variable).
+func (p *Pass) IsPkgIdent(e ast.Expr, pkgPath string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// wholeFile is the pseudo-line under which file-scoped suppressions are
+// recorded; real token positions are always >= 1.
+const wholeFile = -1
+
+// directiveRules parses one comment's lint directive into the rule IDs it
+// suppresses; ok is false when the comment is not a directive at all,
+// fileWide marks //lint:file-allow, and reason reports whether a
+// justification was given.
+func directiveRules(text string) (rules []string, fileWide, reason, ok bool) {
+	body, found := strings.CutPrefix(strings.TrimSpace(text), "//lint:")
+	if !found {
+		return nil, false, false, false
+	}
+	// A nested "// ..." (fixture want-comments) is not part of the directive.
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, false, false, false
+	}
+	switch fields[0] {
+	case "ordered":
+		return []string{"RB-D3"}, false, len(fields) > 1, true
+	case "allow", "file-allow":
+		if len(fields) < 2 {
+			return nil, false, false, true
+		}
+		return []string{fields[1]}, fields[0] == "file-allow", len(fields) > 2, true
+	}
+	return nil, false, false, false
+}
+
+// collectDirectives scans a package's comments into the suppression table
+// and reports reason-less directives (rule RB-X1): an escape hatch that
+// does not say why the invariant still holds is itself a contract breach.
+func collectDirectives(fset *token.FileSet, pkg *Package, findings *[]Finding) map[string]map[int]map[string]bool {
+	table := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rules, fileWide, hasReason, ok := directiveRules(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if len(rules) == 0 || !hasReason {
+					*findings = append(*findings, Finding{
+						Rule: "RB-X1",
+						Pos:  pos,
+						Msg:  "lint directive needs a rule ID and a reason, e.g. //lint:allow RB-D1 wall-clock telemetry only",
+					})
+					continue
+				}
+				byLine := table[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					table[pos.Filename] = byLine
+				}
+				line := pos.Line
+				if fileWide {
+					line = wholeFile
+				}
+				set := byLine[line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[line] = set
+				}
+				for _, r := range rules {
+					set[r] = true
+				}
+			}
+		}
+	}
+	return table
+}
+
+// sortFindings orders diagnostics by file, line, column, then rule ID so
+// output is stable across runs and suitable for golden comparison.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq (RB-F1) flags == and != between two computed
+// floating-point operands outside tests. The decode pipeline is all float
+// math (HSV distances, warp coordinates, photometric gains); exact
+// comparison between independently computed values either never fires or
+// fires only on bit-coincidence, and both failure modes are silent.
+// Exempt, because they are exact by construction rather than by
+// coincidence:
+//
+//   - comparisons where either operand is a compile-time constant —
+//     sentinel/default checks like cfg.TV == 0 or gain == 1 test for a
+//     value that was assigned exactly, not computed toward;
+//   - value-propagation checks, where one operand was assigned directly
+//     from the other in the same function (x = y, or x = math.Min/Max(...,
+//     y, ...)): hue-branch selection (max == r) and fixed-point
+//     convergence (next == cur after cur = next) compare bit-copies.
+var AnalyzerFloatEq = &Analyzer{
+	ID:  "RB-F1",
+	Doc: "no ==/!= between computed floating-point operands outside tests",
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			prop := valuePropagations(p, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.TypeOf(bin.X)) && !isFloat(p.TypeOf(bin.Y)) {
+					return true
+				}
+				if p.isConst(bin.X) || p.isConst(bin.Y) {
+					return true
+				}
+				if prop.linked(p, bin.X, bin.Y) {
+					return true
+				}
+				p.Report(bin.Pos(), "floating-point %s between computed values: use a tolerance (math.Abs(a-b) < eps) or restructure to integers", bin.Op)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// propagations records which variable pairs are connected by a direct
+// assignment (x = y or x = math.Min/Max(..., y, ...)) within a function.
+type propagations map[[2]*types.Var]bool
+
+func (pr propagations) linked(p *Pass, x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	vx, ok1 := p.ObjectOf(xi).(*types.Var)
+	vy, ok2 := p.ObjectOf(yi).(*types.Var)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return pr[[2]*types.Var{vx, vy}] || pr[[2]*types.Var{vy, vx}]
+}
+
+func valuePropagations(p *Pass, body *ast.BlockStmt) propagations {
+	prop := make(propagations)
+	link := func(lhs ast.Expr, src *ast.Ident) {
+		li, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		lv, ok1 := p.ObjectOf(li).(*types.Var)
+		sv, ok2 := p.ObjectOf(src).(*types.Var)
+		if ok1 && ok2 {
+			prop[[2]*types.Var{lv, sv}] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			switch rhs := ast.Unparen(rhs).(type) {
+			case *ast.Ident:
+				link(assign.Lhs[i], rhs)
+			case *ast.CallExpr:
+				for _, leaf := range minMaxLeaves(p, rhs) {
+					link(assign.Lhs[i], leaf)
+				}
+			}
+		}
+		return true
+	})
+	return prop
+}
+
+// minMaxLeaves flattens nested math.Min/math.Max (and builtin min/max)
+// calls into their identifier arguments; nil for any other call.
+func minMaxLeaves(p *Pass, call *ast.CallExpr) []*ast.Ident {
+	isMinMax := false
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		isMinMax = (fun.Sel.Name == "Min" || fun.Sel.Name == "Max") && p.IsPkgIdent(fun.X, "math")
+	case *ast.Ident:
+		if _, builtin := p.ObjectOf(fun).(*types.Builtin); builtin {
+			isMinMax = fun.Name == "min" || fun.Name == "max"
+		}
+	}
+	if !isMinMax {
+		return nil
+	}
+	var leaves []*ast.Ident
+	for _, arg := range call.Args {
+		switch arg := ast.Unparen(arg).(type) {
+		case *ast.Ident:
+			leaves = append(leaves, arg)
+		case *ast.CallExpr:
+			leaves = append(leaves, minMaxLeaves(p, arg)...)
+		}
+	}
+	return leaves
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import "go/ast"
+
+// AnalyzerGlobalRand (RB-D2) forbids the global math/rand functions in
+// contract packages. The process-global generator is shared mutable state:
+// any other goroutine's draw perturbs the stream, so per-seed
+// reproducibility dies silently. Only locally seeded *rand.Rand instances
+// (rand.New(rand.NewSource(seed))) are allowed.
+var AnalyzerGlobalRand = &Analyzer{
+	ID:  "RB-D2",
+	Doc: "contract packages must use locally seeded *rand.Rand, never global math/rand functions",
+	Run: runGlobalRand,
+}
+
+// globalRandOK lists the math/rand selectors that do not touch the global
+// generator: constructors and type names.
+var globalRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+func runGlobalRand(p *Pass) {
+	if !p.Contract {
+		return
+	}
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if p.IsPkgIdent(sel.X, path) && !globalRandOK[sel.Sel.Name] {
+					p.Report(sel.Pos(), "global math/rand.%s in contract package %s: use a locally seeded *rand.Rand so draws are a pure function of the seed", sel.Sel.Name, p.Pkg.Name)
+				}
+			}
+			return true
+		})
+	}
+}

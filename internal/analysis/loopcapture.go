@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerLoopCapture (RB-C2) flags goroutines started inside a loop whose
+// closure reads a variable the loop body keeps reassigning. Since Go 1.22
+// the loop variables themselves are per-iteration, so the surviving race
+// is exactly this shape: an outer accumulator or scratch variable written
+// by iteration k while the goroutine from iteration k-1 still reads it.
+// The worker-pool contract (DESIGN.md §5) is indexed result slots and no
+// shared mutable state — this rule catches regressions from it.
+var AnalyzerLoopCapture = &Analyzer{
+	ID:  "RB-C2",
+	Doc: "goroutines in loops must not capture variables the loop keeps reassigning",
+	Run: runLoopCapture,
+}
+
+func runLoopCapture(p *Pass) {
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var loopPos token.Pos
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body, loopPos = loop.Body, loop.Pos()
+			case *ast.RangeStmt:
+				body, loopPos = loop.Body, loop.Pos()
+			default:
+				return true
+			}
+			checkLoopGoroutines(p, body, loopPos)
+			return true
+		})
+	}
+}
+
+func checkLoopGoroutines(p *Pass, body *ast.BlockStmt, loopPos token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, v := range capturedOuterVars(p, lit, loopPos) {
+			if reassignedInLoop(p, body, lit, v) {
+				p.Report(g.Pos(), "goroutine captures %q, which the loop reassigns: iterations race on it — pass it as an argument or use an indexed slot", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// capturedOuterVars lists variables the closure reads that were declared
+// before the loop started (per-iteration loop variables and closure
+// parameters/locals are excluded by position).
+func capturedOuterVars(p *Pass, lit *ast.FuncLit, loopPos token.Pos) []*types.Var {
+	seen := make(map[*types.Var]bool)
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.Pos() >= loopPos {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// reassignedInLoop reports whether v is written (plain assignment or
+// ++/--, not element/field stores) inside the loop body but outside the
+// goroutine's own closure.
+func reassignedInLoop(p *Pass, body *ast.BlockStmt, lit *ast.FuncLit, v *types.Var) bool {
+	isV := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && p.ObjectOf(id) == v
+	}
+	written := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == ast.Node(lit) {
+			return false // the closure's own writes are its business
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isV(lhs) {
+					written = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isV(n.X) {
+				written = true
+			}
+		}
+		return !written
+	})
+	return written
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerMapOrder (RB-D3) flags map-range loops in contract packages
+// whose iteration order can leak into ordered output: the loop appends to
+// a slice or emits table rows, and no sort call follows in the same
+// function. Go randomizes map iteration, so such a loop breaks
+// bit-reproducible sweeps nondeterministically. //lint:ordered <reason>
+// asserts the consumer is order-insensitive.
+var AnalyzerMapOrder = &Analyzer{
+	ID:  "RB-D3",
+	Doc: "map iteration must not feed returned slices or emitted rows without an intervening sort",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !p.Contract {
+		return
+	}
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapRanges(p, fn.Body)
+			return true
+		})
+	}
+}
+
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(rng.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		sink := orderedSink(p, rng.Body)
+		if sink == "" {
+			return true
+		}
+		if sortCallAfter(p, body, rng) {
+			return true
+		}
+		p.Report(rng.Pos(), "map iteration order flows into %s with no sort call after the loop: output becomes nondeterministic across runs", sink)
+		return true
+	})
+}
+
+// orderedSink reports what order-sensitive output the loop body feeds:
+// an append target, a slice element store indexed by a counter, or a
+// direct row emission. Empty means none found (map-to-map copies,
+// aggregations, and the like are order-insensitive).
+func orderedSink(p *Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
+				sink = "append(" + exprString(call.Args[0]) + ", ...)"
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AddRow" {
+			sink = exprString(sel.X) + ".AddRow(...)"
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+// sortCallAfter reports whether any sort/slices-package call appears in fn
+// after the range loop; that is taken as the canonicalizing sort.
+func sortCallAfter(p *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if p.IsPkgIdent(sel.X, "sort") || p.IsPkgIdent(sel.X, "slices") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders simple expressions (identifiers, selectors) for
+// diagnostics without dragging in go/printer.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expression"
+}

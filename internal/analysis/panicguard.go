@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerPanicGuard (RB-E3) forbids panic in decode/transport pipeline
+// packages. A corrupt capture must surface as a classified error
+// (core.ClassifyFailure), never crash the receiver — the fuzz targets
+// enforce this dynamically, this rule enforces it statically. Allowed:
+// Must* constructors (panic on invalid constant configuration is their
+// documented contract) and sites carrying //lint:allow RB-E3 <reason>
+// for provably unreachable states.
+var AnalyzerPanicGuard = &Analyzer{
+	ID:  "RB-E3",
+	Doc: "decode/transport packages must return classified errors, not panic (Must* constructors exempt)",
+	Run: runPanicGuard,
+}
+
+func runPanicGuard(p *Pass) {
+	if !p.Decode {
+		return
+	}
+	for _, f := range p.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if len(fn.Name.Name) >= 4 && fn.Name.Name[:4] == "Must" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin {
+						p.Report(call.Pos(), "panic in decode/transport function %s: corrupt input must surface as a classified error", fn.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+// Runner applies a fixed analyzer suite to type-checked packages.
+type Runner struct {
+	Analyzers []*Analyzer
+	Config    Config
+}
+
+// NewRunner returns a runner with the full rule suite and the repository's
+// default contract configuration.
+func NewRunner() *Runner {
+	return &Runner{Analyzers: AllAnalyzers(), Config: DefaultConfig()}
+}
+
+// AllAnalyzers returns every registered rule in stable ID order.
+func AllAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerTimeNow,     // RB-D1
+		AnalyzerGlobalRand,  // RB-D2
+		AnalyzerMapOrder,    // RB-D3
+		AnalyzerSentinelCmp, // RB-E1
+		AnalyzerWrapVerb,    // RB-E2
+		AnalyzerPanicGuard,  // RB-E3
+		AnalyzerFloatEq,     // RB-F1
+		AnalyzerPoolPut,     // RB-C1
+		AnalyzerLoopCapture, // RB-C2
+	}
+}
+
+// Run applies the suite to the given packages and returns all findings
+// sorted by position then rule ID.
+func (r *Runner) Run(pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		key := contractKey(pkg.Path)
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Pkg:      pkg,
+			Config:   r.Config,
+			Contract: r.Config.ContractRoots[key],
+			Decode:   r.Config.DecodeRoots[key],
+			findings: &findings,
+		}
+		pass.suppress = collectDirectives(pkg.Fset, pkg, &findings)
+		for _, a := range r.Analyzers {
+			pass.rule = a.ID
+			a.Run(pass)
+		}
+	}
+	sortFindings(findings)
+	return findings
+}

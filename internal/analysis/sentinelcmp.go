@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerSentinelCmp (RB-E1) forbids comparing sentinel errors with ==
+// or !=. Every boundary in the pipeline wraps errors with %w context
+// (fmt.Errorf("lightsync: %w", err)), so an == against the sentinel is
+// false exactly when the error took a realistic path; errors.Is follows
+// the wrap chain. Applies to test files too: a test asserting with ==
+// pins an implementation detail, not the contract.
+var AnalyzerSentinelCmp = &Analyzer{
+	ID:  "RB-E1",
+	Doc: "sentinel errors must be compared with errors.Is, never == or !=",
+	Run: runSentinelCmp,
+}
+
+func runSentinelCmp(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if p.isNil(bin.X) || p.isNil(bin.Y) {
+				return true
+			}
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				if name, ok := p.sentinelError(side); ok {
+					p.Report(bin.Pos(), "sentinel error %s compared with %s: use errors.Is so wrapped errors still match", name, bin.Op)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) isNil(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sentinelError reports whether e denotes a package-level variable whose
+// type is (or implements) error — the shape of errors.New/fmt.Errorf
+// sentinels like core.ErrBadFrame or io.EOF.
+func (p *Pass) sentinelError(e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := p.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

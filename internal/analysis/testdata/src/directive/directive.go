@@ -1,0 +1,15 @@
+// Package directive is an RB-X1 fixture: escape hatches must carry a rule
+// ID and a reason.
+package directive
+
+import "time"
+
+func bare() time.Time {
+	//lint:allow RB-D1 // want "lint directive needs a rule ID and a reason"
+	return time.Now()
+}
+
+func reasoned() time.Time {
+	//lint:allow RB-D1 fixture: telemetry-only stopwatch
+	return time.Now()
+}

@@ -1,0 +1,47 @@
+// Package floateq is an RB-F1 fixture: computed-value float equality
+// versus the exempt constant-sentinel and value-propagation forms.
+package floateq
+
+import "math"
+
+func computed(x, y float64) bool {
+	return x == y // want "floating-point == between computed values"
+}
+
+func computedNeq(a, b float32) bool {
+	return a != b // want "floating-point != between computed values"
+}
+
+func sentinel(tv float64) float64 {
+	if tv == 0 { // constant sentinel: assigned exactly, not computed toward
+		tv = 0.3
+	}
+	return tv
+}
+
+func branchSelect(r, g, b float64) int {
+	max := math.Max(r, math.Max(g, b))
+	switch {
+	case max == r: // value propagation: max is a bit-copy of one operand
+		return 0
+	case max == g:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func converges(cur float64, step func(float64) float64) float64 {
+	for i := 0; i < 64; i++ {
+		next := step(cur)
+		if next == cur { // fixed point reached: cur was assigned from next
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+func integers(a, b int) bool {
+	return a == b // not floats
+}

@@ -1,0 +1,24 @@
+// Package globalrand is an RB-D2 fixture: global math/rand functions in a
+// determinism-contract package versus locally seeded generators.
+package globalrand
+
+import "math/rand"
+
+func global() int {
+	rand.Seed(42)       // want "global math/rand.Seed"
+	return rand.Intn(6) // want "global math/rand.Intn"
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return rng.Float64()
+}
+
+func shadowed(rand *localRand) int {
+	// A local variable named rand is not the package: no finding.
+	return rand.Intn(3)
+}
+
+type localRand struct{}
+
+func (*localRand) Intn(n int) int { return n - 1 }

@@ -1,0 +1,39 @@
+// Package loopcapture is an RB-C2 fixture: goroutines in loops capturing
+// variables the loop keeps reassigning, versus the safe argument-passing
+// and indexed-slot forms.
+package loopcapture
+
+import "sync"
+
+func races(jobs []int, out chan<- int) {
+	var scratch int
+	for _, j := range jobs {
+		scratch = j * 2
+		go func() { // want `goroutine captures "scratch"`
+			out <- scratch
+		}()
+	}
+}
+
+func passesArgument(jobs []int, out chan<- int) {
+	for _, j := range jobs {
+		scratch := j * 2
+		go func(v int) {
+			out <- v
+		}(scratch)
+	}
+}
+
+func indexedSlots(jobs []int) []int {
+	results := make([]int, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = j * 2 // per-iteration loop vars are safe since Go 1.22
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,57 @@
+// Package maporder is an RB-D3 fixture: map iteration feeding ordered
+// output with and without a canonicalizing sort.
+package maporder
+
+import "sort"
+
+func leaky(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order flows into append"
+		out = append(out, k)
+	}
+	return out
+}
+
+func emits(m map[string]int, t *table) {
+	for k, v := range m { // want "map iteration order flows into t.AddRow"
+		t.AddRow(k, v)
+	}
+}
+
+func sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func aggregates(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-insensitive: no slice sink
+		total += v
+	}
+	return total
+}
+
+func copies(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // map-to-map: no slice sink
+		out[k] = v
+	}
+	return out
+}
+
+func annotated(m map[string]int) []string {
+	var out []string
+	//lint:ordered fixture: consumer treats this as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+type table struct{ rows [][2]any }
+
+func (t *table) AddRow(k string, v int) { t.rows = append(t.rows, [2]any{k, v}) }

@@ -1,0 +1,41 @@
+// Package panicguard is an RB-E3 fixture: panic in decode/transport code
+// versus Must* constructors and annotated unreachable-state guards.
+package panicguard
+
+import "errors"
+
+type codec struct{ n int }
+
+func decode(data []byte) (*codec, error) {
+	if len(data) == 0 {
+		panic("empty input") // want "panic in decode/transport function decode"
+	}
+	return &codec{n: len(data)}, nil
+}
+
+func newCodec(n int) (*codec, error) {
+	if n <= 0 {
+		return nil, errors.New("bad n")
+	}
+	return &codec{n: n}, nil
+}
+
+// MustCodec panics on invalid constant configuration: the documented
+// contract of Must* constructors.
+func MustCodec(n int) *codec {
+	c, err := newCodec(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func guarded(state int) int {
+	switch state {
+	case 0, 1:
+		return state
+	default:
+		//lint:allow RB-E3 fixture: states beyond 1 are rejected at construction, this arm is unreachable
+		panic("unreachable state")
+	}
+}

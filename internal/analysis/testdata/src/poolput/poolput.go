@@ -1,0 +1,49 @@
+// Package poolput is an RB-C1 fixture: sync.Pool values that leak versus
+// the sanctioned Put/defer/return/store forms.
+package poolput
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func leaks() int {
+	buf := bufPool.Get().(*[]byte) // want "pool value buf is never Put"
+	return len(*buf)
+}
+
+func deferred() int {
+	buf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(buf)
+	return len(*buf)
+}
+
+func transfersOwnership() *[]byte {
+	buf := bufPool.Get().(*[]byte)
+	return buf // the caller owns it now
+}
+
+type holder struct{ buf *[]byte }
+
+func stores(h *holder) {
+	buf := bufPool.Get().(*[]byte)
+	h.buf = buf // stored into a longer-lived structure
+}
+
+// GetFloats / PutFloats mirror the raster package's pool-accessor pair,
+// wired through Config.PoolPairs.
+func GetFloats(n int) []float64 { return make([]float64, n) }
+
+func PutFloats([]float64) {}
+
+func pairLeak() float64 {
+	s := GetFloats(8) // want "pool value s is never Put"
+	x := s[0] * 2
+	return x
+}
+
+func pairBalanced() float64 {
+	s := GetFloats(8)
+	defer PutFloats(s)
+	x := s[0] * 2
+	return x
+}

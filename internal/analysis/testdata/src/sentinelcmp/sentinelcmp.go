@@ -1,0 +1,30 @@
+// Package sentinelcmp is an RB-E1 fixture: sentinel errors compared with
+// == / != versus errors.Is and nil checks.
+package sentinelcmp
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrBad = errors.New("bad frame")
+
+func compare(err error) bool {
+	return err == ErrBad // want "sentinel error ErrBad compared with =="
+}
+
+func compareImported(err error) bool {
+	return err != io.EOF // want "sentinel error EOF compared with !="
+}
+
+func viaIs(err error) bool {
+	return errors.Is(err, ErrBad) // the sanctioned form
+}
+
+func nilCheck(err error) bool {
+	return err == nil // nil comparisons are fine
+}
+
+func locals(a, b error) bool {
+	return a == b // neither side is a package-level sentinel
+}

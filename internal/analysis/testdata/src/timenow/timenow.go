@@ -1,0 +1,22 @@
+// Package timenow is an RB-D1 fixture: wall-clock reads in a
+// determinism-contract package.
+package timenow
+
+import "time"
+
+func stamp() time.Duration {
+	t0 := time.Now() // want "time.Now in determinism-contract package"
+	work()
+	return time.Since(t0) // want "time.Since in determinism-contract package"
+}
+
+func allowed() time.Time {
+	// Constructing fixed times is fine: only the wall clock is forbidden.
+	d := time.Date(2015, 7, 1, 0, 0, 0, 0, time.UTC)
+	//lint:allow RB-D1 fixture: demonstrates a reasoned escape hatch for telemetry-only stopwatches
+	t := time.Now()
+	_ = t
+	return d
+}
+
+func work() {}

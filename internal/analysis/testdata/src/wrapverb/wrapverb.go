@@ -1,0 +1,26 @@
+// Package wrapverb is an RB-E2 fixture: fmt.Errorf wrapping an error with
+// and without %w.
+package wrapverb
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errInner = errors.New("inner")
+
+func flattens() error {
+	return fmt.Errorf("decode: %v", errInner) // want "without %w"
+}
+
+func wraps() error {
+	return fmt.Errorf("decode: %w", errInner) // keeps the chain
+}
+
+func noError(n int) error {
+	return fmt.Errorf("bad count %d", n) // no error argument: fine
+}
+
+func stringized() error {
+	return fmt.Errorf("decode: %s", errInner.Error()) // already a string
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "go/ast"
+
+// AnalyzerTimeNow (RB-D1) forbids wall-clock reads in contract packages:
+// every value a sweep or fault chain produces must be a pure function of
+// (seed, index), and time.Now/time.Since smuggle the host clock into that
+// function. Wall-clock stopwatches that feed only timing telemetry carry a
+// reasoned //lint:allow RB-D1 directive.
+var AnalyzerTimeNow = &Analyzer{
+	ID:  "RB-D1",
+	Doc: "contract packages must not read the wall clock (time.Now/time.Since)",
+	Run: runTimeNow,
+}
+
+func runTimeNow(p *Pass) {
+	if !p.Contract {
+		return
+	}
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Now", "Since"} {
+				if p.PkgFunc(call, "time", name) {
+					p.Report(call.Pos(), "time.%s in determinism-contract package %s: results must be a pure function of (seed, index)", name, p.Pkg.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerWrapVerb (RB-E2) requires fmt.Errorf calls that embed an error
+// to use the %w verb. %v/%s flatten the error to text, cutting the wrap
+// chain that errors.Is / core.ClassifyFailure walk — the failure would
+// still print fine but stop being classifiable, which is exactly the
+// silent-degradation mode the transport layer guards against.
+var AnalyzerWrapVerb = &Analyzer{
+	ID:  "RB-E2",
+	Doc: "fmt.Errorf embedding an error must wrap it with %w",
+	Run: runWrapVerb,
+}
+
+func runWrapVerb(p *Pass) {
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.PkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if t := p.TypeOf(arg); t != nil && isErrorType(t) {
+					p.Report(call.Pos(), "fmt.Errorf formats error %s without %%w: the wrap chain breaks and errors.Is/ClassifyFailure stop matching", exprString(arg))
+					return true
+				}
+			}
+			return true
+		})
+	}
+}

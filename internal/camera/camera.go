@@ -95,6 +95,9 @@ func (c Camera) Film(d *screen.Display, ch *channel.Channel) ([]Capture, error) 
 	}
 	var out []Capture
 	readout := time.Duration(float64(c.Period()) * c.ReadoutFraction)
+	// Determinism contract (RB-D2): locally seeded *rand.Rand — shutter
+	// jitter is a pure function of c.Seed, so a Film run is bit-identical
+	// for identical configurations.
 	rng := rand.New(rand.NewSource(c.Seed))
 	maxJitter := (c.Period() - readout) / 2 // captures must not overlap
 	for k := 0; ; k++ {

@@ -208,6 +208,9 @@ func New(cfg Config) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Determinism contract (RB-D2): locally seeded *rand.Rand — the noise
+	// stream is a pure function of cfg.Seed, never of global or
+	// time-seeded state.
 	return &Channel{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 

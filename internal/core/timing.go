@@ -1,5 +1,7 @@
 package core
 
+//lint:file-allow RB-D1 this file is the §IV-D decode-time stopwatch: every time.Now/Since here feeds only StageTimings telemetry, never a decode decision, so determinism of decoded bits is unaffected
+
 import (
 	"time"
 

@@ -96,6 +96,9 @@ func splitmix64(x uint64) uint64 {
 // rngFor derives the PRNG for injector position i on capture frame.
 func (c *Chain) rngFor(i, frame int) *rand.Rand {
 	h := splitmix64(uint64(c.Seed) ^ splitmix64(uint64(i)<<32|uint64(uint32(frame))))
+	// Determinism contract (RB-D2): locally seeded *rand.Rand — fault
+	// decisions are a pure function of (chain seed, injector position,
+	// capture index), independent of evaluation order or host state.
 	return rand.New(rand.NewSource(int64(h)))
 }
 

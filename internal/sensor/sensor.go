@@ -129,6 +129,9 @@ type Trace struct {
 
 // NewTrace creates a generator for the given regime and seed.
 func NewTrace(m Mobility, seed int64) *Trace {
+	// Determinism contract (RB-D2): locally seeded *rand.Rand — every
+	// sample is a pure function of (seed, draw index), never of global or
+	// time-seeded state.
 	return &Trace{mobility: m, rng: rand.New(rand.NewSource(seed))}
 }
 

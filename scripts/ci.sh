@@ -1,18 +1,25 @@
 #!/bin/sh
-# CI verify recipe: build, tests, the full suite under the race detector,
-# then a short fuzz smoke pass. The race step is what protects the parallel
-# experiment engine and the row-parallel raster kernels; the fuzz steps keep
-# the decode paths panic-free on corrupt input (Go runs one fuzz target per
-# invocation, hence one line each). Run before every merge.
+# CI verify recipe: build, vet, the repo's own contract analyzers
+# (rainbar-lint, DESIGN.md §8), tests, the full suite under the race
+# detector, then a short fuzz smoke pass. The lint gate fails the build on
+# any determinism / error-discipline / concurrency contract breach; the
+# race step protects the parallel experiment engine and the row-parallel
+# raster kernels; the fuzz steps keep the decode paths panic-free on
+# corrupt input (Go runs one fuzz target per invocation, hence one line
+# each). Set CI_FUZZ=0 to skip the fuzz smoke locally and keep the
+# build+lint+test gate fast. Run before every merge.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go run ./cmd/rainbar-lint ./...
 go test ./...
 go test -race ./...
 
-go test -fuzz=FuzzHeaderDecode -fuzztime=10s ./internal/core/header
-go test -fuzz=FuzzRSDecode -fuzztime=10s ./internal/rs
-go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/core
+if [ "${CI_FUZZ:-1}" != "0" ]; then
+	go test -fuzz=FuzzHeaderDecode -fuzztime=10s ./internal/core/header
+	go test -fuzz=FuzzRSDecode -fuzztime=10s ./internal/rs
+	go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/core
+fi
