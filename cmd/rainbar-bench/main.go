@@ -11,31 +11,56 @@
 //	               text-transfer|hsv-vs-rgb|sync-ablation|faults]
 //	              [-frames N] [-seed N] [-workers N] [-full]
 //	              [-faults spec]
+//	              [-metrics file|-] [-metrics-table] [-pprof addr]
 //
 // Sweeps fan out across -workers goroutines (default: one per CPU); the
 // tables are bit-identical for every worker count, so -workers only trades
 // wall-clock time for CPU. -workers 1 forces the serial path.
+//
+// -metrics attaches an in-memory recorder to every codec, channel, camera
+// and session the sweeps construct and writes the collected series after
+// the run: Prometheus text by default, JSON when the filename ends in
+// .json, stdout when the argument is "-". The recorder only observes —
+// result tables are bit-identical with or without it. -metrics-table
+// additionally prints the series as an aligned summary table.
+// -pprof serves net/http/pprof on the given address for the run's
+// duration.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"rainbar/internal/experiment"
+	"rainbar/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id to run (or 'all')")
-		frames  = flag.Int("frames", 0, "frames per sweep point (0 = default)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 0, "sweep-point workers (0 = one per CPU, 1 = serial)")
-		full    = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
-		fspec   = flag.String("faults", "", "extra fault-sweep condition, e.g. 'drop=0.2,occlude=0.1' (see internal/faults)")
+		exp       = flag.String("exp", "all", "experiment id to run (or 'all')")
+		frames    = flag.Int("frames", 0, "frames per sweep point (0 = default)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		workers   = flag.Int("workers", 0, "sweep-point workers (0 = one per CPU, 1 = serial)")
+		full      = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
+		fspec     = flag.String("faults", "", "extra fault-sweep condition, e.g. 'drop=0.2,occlude=0.1' (see internal/faults)")
+		metrics   = flag.String("metrics", "", "write pipeline metrics to this file after the run ('-' = stdout, *.json = JSON exposition)")
+		metricsTb = flag.Bool("metrics-table", false, "print the collected metrics as a summary table (implies -metrics collection)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rainbar-bench: pprof:", err)
+			}
+		}()
+	}
 
 	o := experiment.DefaultOptions()
 	if *full {
@@ -48,13 +73,50 @@ func main() {
 	o.Workers = *workers
 	o.FaultSpec = *fspec
 
-	if err := run(*exp, o); err != nil {
+	var rec *obs.Memory
+	if *metrics != "" || *metricsTb {
+		rec = obs.NewMemory()
+		o.Recorder = rec
+	}
+
+	if err := run(*exp, o, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "rainbar-bench:", err)
 		os.Exit(1)
 	}
+	if rec == nil {
+		return
+	}
+	if *metricsTb {
+		fmt.Println()
+		fmt.Print(experiment.MetricsTable(rec.Snapshot()).Format())
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "rainbar-bench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(exp string, o experiment.Options) error {
+// writeMetrics exposes the recorder to path: "-" means stdout, a .json
+// suffix selects the JSON exposition, anything else Prometheus text.
+func writeMetrics(path string, rec *obs.Memory) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".json") {
+		return rec.WriteJSON(w)
+	}
+	return rec.WritePrometheus(w)
+}
+
+func run(exp string, o experiment.Options, rec *obs.Memory) error {
 	type job struct {
 		id string
 		fn func(experiment.Options) (*experiment.Table, error)
@@ -81,6 +143,12 @@ func run(exp string, o experiment.Options) error {
 		{"faults", experiment.FaultSweep},
 	}
 
+	emitted := func(n int) {
+		if rec != nil {
+			rec.Inc(obs.MExperimentTables, int64(n))
+		}
+	}
+
 	ran := false
 	start := time.Now()
 	if exp == "all" || exp == "fig11" || exp == "fig11a" || exp == "fig11b" {
@@ -92,6 +160,7 @@ func run(exp string, o experiment.Options) error {
 		fmt.Println()
 		fmt.Print(tb.Format())
 		fmt.Println()
+		emitted(2)
 		ran = true
 	}
 	for _, j := range jobs {
@@ -104,6 +173,7 @@ func run(exp string, o experiment.Options) error {
 		}
 		fmt.Print(t.Format())
 		fmt.Println()
+		emitted(1)
 		ran = true
 	}
 	if !ran {

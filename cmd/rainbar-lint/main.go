@@ -1,7 +1,8 @@
 // Command rainbar-lint runs the repository's contract analyzers
 // (internal/analysis) over every package in the module: determinism
-// (RB-D1..D3), error discipline (RB-E1..E3), float equality (RB-F1), and
-// pool/goroutine hygiene (RB-C1..C2). See DESIGN.md §8 for the rule table.
+// (RB-D1..D3), observability injection (RB-O1), error discipline
+// (RB-E1..E3), float equality (RB-F1), and pool/goroutine hygiene
+// (RB-C1..C2). See DESIGN.md §8 for the rule table.
 //
 // Usage:
 //

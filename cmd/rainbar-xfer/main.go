@@ -10,18 +10,29 @@
 //	             [-width 640] [-height 360] [-block 12] [-rate 10]
 //	             [-distance 12] [-angle 0] [-brightness 1.0]
 //	             [-ambient indoor|outdoor|dark] [-seed 1]
+//	             [-metrics file|-] [-pprof addr]
+//
+// -metrics instruments the whole pipeline (codec stages, channel, camera,
+// transport rounds) and writes the collected series after the transfer:
+// Prometheus text by default, JSON when the filename ends in .json,
+// stdout when the argument is "-". -pprof serves net/http/pprof on the
+// given address for the transfer's duration.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"rainbar/internal/camera"
 	"rainbar/internal/channel"
 	"rainbar/internal/core"
 	"rainbar/internal/core/layout"
+	"rainbar/internal/obs"
 	"rainbar/internal/transport"
 )
 
@@ -38,21 +49,35 @@ func main() {
 		brightness = flag.Float64("brightness", 1.0, "screen brightness 0..1")
 		ambient    = flag.String("ambient", "indoor", "lighting: indoor|outdoor|dark")
 		seed       = flag.Int64("seed", 1, "channel random seed")
+		metrics    = flag.String("metrics", "", "write pipeline metrics to this file after the transfer ('-' = stdout, *.json = JSON exposition)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *width, *height, *block, *rate, *distance, *angle, *brightness, *ambient, *seed); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rainbar-xfer: pprof:", err)
+			}
+		}()
+	}
+	if err := run(*in, *out, *width, *height, *block, *rate, *distance, *angle, *brightness, *ambient, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "rainbar-xfer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, width, height, block int, rate, distance, angle, brightness float64, ambient string, seed int64) error {
+func run(in, out string, width, height, block int, rate, distance, angle, brightness float64, ambient string, seed int64, metrics string) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
+	}
+
+	var rec *obs.Memory
+	if metrics != "" {
+		rec = obs.NewMemory()
 	}
 
 	cfg := channel.DefaultConfig()
@@ -79,17 +104,25 @@ func run(in, out string, width, height, block int, rate, distance, angle, bright
 	if err != nil {
 		return err
 	}
-	codec, err := core.NewCodec(core.Config{
+	coreCfg := core.Config{
 		Geometry:    geo,
 		DisplayRate: uint8(rate),
 		AppType:     uint8(transport.Classify(data)),
-	})
+	}
+	cam := camera.Default()
+	cam.Seed = seed
+	if rec != nil {
+		// Instrument every pipeline layer. Assign only when non-nil: a
+		// typed-nil *obs.Memory inside the interface would read as enabled.
+		coreCfg.Recorder = rec
+		ch.Recorder = rec
+		cam.Recorder = rec
+	}
+	codec, err := core.NewCodec(coreCfg)
 	if err != nil {
 		return err
 	}
 
-	cam := camera.Default()
-	cam.Seed = seed
 	sess := &transport.Session{
 		Codec: codec,
 		Link: transport.Link{
@@ -98,6 +131,9 @@ func run(in, out string, width, height, block int, rate, distance, angle, bright
 			DisplayRate: rate,
 		},
 		MaxRounds: 12,
+	}
+	if rec != nil {
+		sess.Recorder = rec
 	}
 
 	got, stats, err := sess.Transfer(data)
@@ -121,5 +157,28 @@ func run(in, out string, width, height, block int, rate, distance, angle, bright
 		}
 		fmt.Printf("written to     %s\n", out)
 	}
+	if rec != nil {
+		if err := writeMetrics(metrics, rec); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeMetrics exposes the recorder to path: "-" means stdout, a .json
+// suffix selects the JSON exposition, anything else Prometheus text.
+func writeMetrics(path string, rec *obs.Memory) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".json") {
+		return rec.WriteJSON(w)
+	}
+	return rec.WritePrometheus(w)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -13,7 +14,8 @@ func TestRunTransfersFile(t *testing.T) {
 	if err := os.WriteFile(in, []byte("end to end transfer via the xfer command"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1); err != nil {
+	metrics := filepath.Join(dir, "metrics.prom")
+	if err := run(in, out, 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1, metrics); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(out)
@@ -23,10 +25,23 @@ func TestRunTransfersFile(t *testing.T) {
 	if string(got) != "end to end transfer via the xfer command" {
 		t.Fatal("transferred copy differs")
 	}
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rainbar_transport_transfers_total 1",
+		"rainbar_core_captures_total",
+		"rainbar_camera_captures_total",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics file missing %q", want)
+		}
+	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1); err == nil {
+	if err := run("", "", 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1, ""); err == nil {
 		t.Error("missing -in accepted")
 	}
 	dir := t.TempDir()
@@ -34,7 +49,7 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(in, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", 640, 360, 12, 10, 12, 0, 1.0, "underwater", 1); err == nil {
+	if err := run(in, "", 640, 360, 12, 10, 12, 0, 1.0, "underwater", 1, ""); err == nil {
 		t.Error("unknown ambient accepted")
 	}
 }

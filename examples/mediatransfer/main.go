@@ -8,23 +8,14 @@ import (
 	"fmt"
 	"log"
 
-	"rainbar/internal/camera"
-	"rainbar/internal/channel"
-	"rainbar/internal/core"
-	"rainbar/internal/core/layout"
-	"rainbar/internal/transport"
+	"rainbar"
 	"rainbar/internal/workload"
 )
 
 func main() {
-	geo, err := layout.NewGeometry(640, 360, 12)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// An adverse link: 20 degrees off axis with heavy chroma noise, so
 	// some frames genuinely fail and concealment has work to do.
-	cfg := channel.DefaultConfig()
+	cfg := rainbar.DefaultChannelConfig()
 	cfg.ViewAngleDeg = 20
 	cfg.ChromaNoiseStdDev = 58
 	cfg.ChromaNoiseScalePx = 8
@@ -36,19 +27,20 @@ func main() {
 		{"image", func(n int) []byte { return workload.ImageLike(n, 7) }},
 		{"audio", func(n int) []byte { return workload.AudioLike(n, 7) }},
 	} {
-		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: 10})
+		codec, err := rainbar.New(
+			rainbar.WithScreenSize(640, 360),
+			rainbar.WithBlockSize(12),
+			rainbar.WithDisplayRate(10),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sess := &transport.Session{
-			Codec: codec,
-			Link: transport.Link{
-				Channel:     channel.MustNew(cfg),
-				Camera:      camera.Default(),
-				DisplayRate: 10,
-			},
-			MaxRounds: 2, // media gets two rounds, then concealment
-		}
+		sess := rainbar.NewSession(codec, rainbar.Link{
+			Channel:     rainbar.MustNewChannel(cfg),
+			Camera:      rainbar.DefaultCamera(),
+			DisplayRate: 10,
+		})
+		sess.MaxRounds = 2 // media gets two rounds, then concealment
 		file := tc.data(codec.FrameCapacity() * 8)
 		got, stats, err := sess.TransferLossy(file)
 		if err != nil {

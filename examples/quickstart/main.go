@@ -7,21 +7,20 @@ import (
 	"fmt"
 	"log"
 
-	"rainbar/internal/channel"
-	"rainbar/internal/core"
-	"rainbar/internal/core/layout"
+	"rainbar"
 )
 
 func main() {
-	// 1. Pick a frame geometry: a 640x360 screen with 12 px blocks.
-	geo, err := layout.NewGeometry(640, 360, 12)
+	// 1. Build a codec: a 640x360 screen with 12 px blocks at 10 fps.
+	codec, err := rainbar.New(
+		rainbar.WithScreenSize(640, 360),
+		rainbar.WithBlockSize(12),
+		rainbar.WithDisplayRate(10),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: 10})
-	if err != nil {
-		log.Fatal(err)
-	}
+	geo := codec.Geometry()
 	fmt.Printf("frame geometry: %dx%d blocks, %d payload bytes per frame\n",
 		geo.Cols(), geo.Rows(), codec.FrameCapacity())
 
@@ -36,7 +35,7 @@ func main() {
 
 	// 3. Capture it through the default optical channel: 12 cm distance,
 	// head-on, indoor light, mild blur/noise/lens distortion.
-	ch, err := channel.New(channel.DefaultConfig())
+	ch, err := rainbar.NewChannel(rainbar.DefaultChannelConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,32 +1,30 @@
 // Texttransfer: the paper's §V application — transfer a text file between
 // two phones over the screen-camera link with CRC/RS protection and
 // selective retransmission, and verify it arrives bit-exact ("even one-bit
-// decoding error will lead to a wrong character").
+// decoding error will lead to a wrong character"). The session carries a
+// metrics recorder, so the transfer prints its own observability summary.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
 
-	"rainbar/internal/camera"
-	"rainbar/internal/channel"
-	"rainbar/internal/core"
-	"rainbar/internal/core/layout"
+	"rainbar"
 	"rainbar/internal/transport"
 	"rainbar/internal/workload"
 )
 
 func main() {
-	geo, err := layout.NewGeometry(640, 360, 12)
-	if err != nil {
-		log.Fatal(err)
-	}
-	codec, err := core.NewCodec(core.Config{
-		Geometry:    geo,
-		DisplayRate: 10,
-		AppType:     uint8(transport.AppText),
-	})
+	metrics := rainbar.NewMetrics()
+	codec, err := rainbar.New(
+		rainbar.WithScreenSize(640, 360),
+		rainbar.WithBlockSize(12),
+		rainbar.WithDisplayRate(10),
+		rainbar.WithAppType(rainbar.AppText),
+		rainbar.WithRecorder(metrics),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,23 +35,21 @@ func main() {
 		len(text), transport.Classify(text))
 
 	// A slightly adverse link: 14 cm away, 10 degrees off axis.
-	cfg := channel.DefaultConfig()
+	cfg := rainbar.DefaultChannelConfig()
 	cfg.DistanceCM = 14
 	cfg.ViewAngleDeg = 10
-	ch, err := channel.New(cfg)
+	ch, err := rainbar.NewChannel(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sess := &transport.Session{
-		Codec: codec,
-		Link: transport.Link{
-			Channel:     ch,
-			Camera:      camera.Default(),
-			DisplayRate: 10,
-		},
-		MaxRounds: 10,
-	}
+	sess := rainbar.NewSession(codec, rainbar.Link{
+		Channel:     ch,
+		Camera:      rainbar.DefaultCamera(),
+		DisplayRate: 10,
+	})
+	sess.MaxRounds = 10
+	sess.Recorder = metrics
 	got, stats, err := sess.Transfer(text)
 	if err != nil {
 		log.Fatalf("transfer failed after %d rounds: %v", stats.Rounds, err)
@@ -68,4 +64,10 @@ func main() {
 		100*float64(stats.FramesSent-stats.FramesNeeded)/float64(stats.FramesNeeded))
 	fmt.Printf("air time %v, goodput %.0f bytes/s\n", stats.AirTime, stats.Goodput)
 	fmt.Printf("first line: %.60q...\n", got)
+
+	// Dump the pipeline metrics the transfer produced (Prometheus text).
+	fmt.Println("\npipeline metrics:")
+	if err := rainbar.WriteMetricsPrometheus(os.Stdout, metrics); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -5,7 +5,9 @@
 //   - determinism — contract packages (faults, experiment, channel, camera,
 //     core, transport) must be bit-reproducible functions of (seed, index):
 //     no wall clock, no global math/rand, no map-iteration order leaking
-//     into emitted rows or returned slices (RB-D1..D3);
+//     into emitted rows or returned slices (RB-D1..D3), and no
+//     construction of obs recorders or clocks — observability is injected
+//     by callers so its clock never reaches contract code (RB-O1);
 //   - error discipline — sentinel errors are matched with errors.Is, wrapped
 //     with %w, and the decode/transport pipeline never panics outside
 //     Must* constructors (RB-E1..E3);

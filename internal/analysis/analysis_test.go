@@ -103,6 +103,7 @@ func TestFixtures(t *testing.T) {
 		contract bool
 	}{
 		{"timenow", true},
+		{"obsclock", true},
 		{"globalrand", true},
 		{"maporder", true},
 		{"sentinelcmp", true},

@@ -97,7 +97,10 @@ func LoadModule(root string) ([]*Package, error) {
 }
 
 // LoadDir type-checks the single package in dir (used for testdata
-// fixtures); imports are restricted to the standard library.
+// fixtures). Imports resolve from the standard library, plus any
+// subdirectories of dir, which a fixture imports as
+// "fixture/<name>/<subdir>" (for rules about module-internal packages,
+// e.g. RB-O1's obs stand-in).
 func LoadDir(dir string) (*Package, error) {
 	l := &Loader{
 		Fset:  token.NewFileSet(),
@@ -113,7 +116,17 @@ func LoadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	pkg := &Package{Path: "fixture/" + name, Name: name, Dir: dir, Files: files, TestFile: testFile}
+	l.modPath = "fixture/" + name
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			l.dirs[l.modPath+"/"+e.Name()] = filepath.Join(dir, e.Name())
+		}
+	}
+	pkg := &Package{Path: l.modPath, Name: name, Dir: dir, Files: files, TestFile: testFile}
 	if err := l.typeCheck(pkg); err != nil {
 		return nil, err
 	}

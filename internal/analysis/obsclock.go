@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerObsClock (RB-O1) forbids constructing obs recorders or clocks in
+// contract packages: obs.NewMemory defaults to a wall clock and
+// obs.NewWallClock is one, so building either inside faults/experiment/
+// channel/camera/core/transport would smuggle the host clock past RB-D1
+// through the metrics side door. Contract code only ever accepts an
+// injected Recorder — the caller decides which clock backs it, and the
+// deterministic test path injects a ManualClock.
+var AnalyzerObsClock = &Analyzer{
+	ID:  "RB-O1",
+	Doc: "contract packages must not construct obs recorders or clocks (accept an injected Recorder instead)",
+	Run: runObsClock,
+}
+
+func runObsClock(p *Pass) {
+	if !p.Contract {
+		return
+	}
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "NewMemory" && name != "NewWallClock" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.ObjectOf(id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if path := pn.Imported().Path(); path == "obs" || strings.HasSuffix(path, "/obs") {
+				p.Report(call.Pos(), "obs.%s in determinism-contract package %s: recorders and their clocks must be injected by the caller", name, p.Pkg.Name)
+			}
+			return true
+		})
+	}
+}

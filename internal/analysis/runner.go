@@ -18,6 +18,7 @@ func AllAnalyzers() []*Analyzer {
 		AnalyzerTimeNow,     // RB-D1
 		AnalyzerGlobalRand,  // RB-D2
 		AnalyzerMapOrder,    // RB-D3
+		AnalyzerObsClock,    // RB-O1
 		AnalyzerSentinelCmp, // RB-E1
 		AnalyzerWrapVerb,    // RB-E2
 		AnalyzerPanicGuard,  // RB-E3

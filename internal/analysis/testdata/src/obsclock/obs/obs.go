@@ -1,0 +1,32 @@
+// Package obs is the fixture stand-in for rainbar/internal/obs: RB-O1
+// matches the imported package by path suffix, so this mini copy only
+// needs the constructors and the types they mention.
+package obs
+
+// Clock is the injected time source.
+type Clock interface{ Now() int64 }
+
+type wallClock struct{}
+
+func (wallClock) Now() int64 { return 0 }
+
+// NewWallClock mimics the real wall-clock constructor.
+func NewWallClock() Clock { return wallClock{} }
+
+// Memory mimics the in-memory recorder.
+type Memory struct{ clock Clock }
+
+// MemoryOption mimics the real constructor options.
+type MemoryOption func(*Memory)
+
+// WithClock injects a clock.
+func WithClock(c Clock) MemoryOption { return func(m *Memory) { m.clock = c } }
+
+// NewMemory mimics the real recorder constructor.
+func NewMemory(opts ...MemoryOption) *Memory {
+	m := &Memory{clock: wallClock{}}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}

@@ -1,0 +1,24 @@
+// Package obsclock is an RB-O1 fixture: obs recorder/clock construction
+// in a determinism-contract package.
+package obsclock
+
+import "fixture/obsclock/obs"
+
+// Recorder-ish sink the contract package is allowed to hold — injection
+// is fine, construction is not.
+var injected *obs.Memory
+
+func SetRecorder(m *obs.Memory) { injected = m }
+
+func build() *obs.Memory {
+	return obs.NewMemory() // want "obs.NewMemory in determinism-contract package"
+}
+
+func clock() obs.Clock {
+	return obs.NewWallClock() // want "obs.NewWallClock in determinism-contract package"
+}
+
+func allowed() *obs.Memory {
+	//lint:allow RB-O1 fixture: demonstrates a reasoned escape hatch for telemetry-only construction
+	return obs.NewMemory(obs.WithClock(obs.NewWallClock()))
+}

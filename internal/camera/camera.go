@@ -15,6 +15,7 @@ import (
 	"rainbar/internal/channel"
 	"rainbar/internal/colorspace"
 	"rainbar/internal/faults"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 	"rainbar/internal/screen"
 )
@@ -42,6 +43,10 @@ type Camera struct {
 	// film start — dropped captures still consume their slot, so the fault
 	// pattern is independent of earlier faults.
 	Faults *faults.Chain
+	// Recorder, when set, counts filmed captures, rolling-shutter mixed
+	// captures, and fault-dropped captures. Capture content and timing
+	// never depend on it.
+	Recorder obs.Recorder
 }
 
 // Default returns the paper's receiver: 30 fps with near-full readout.
@@ -127,7 +132,16 @@ func (c Camera) Film(d *screen.Display, ch *channel.Channel) ([]Capture, error) 
 		}
 		if !c.Faults.Apply(cap.Image, k) {
 			raster.Recycle(cap.Image)
+			if obs.Enabled(c.Recorder) {
+				c.Recorder.Inc(obs.MCameraDropped, 1)
+			}
 			continue // whole-frame loss: the decoder never sees it
+		}
+		if obs.Enabled(c.Recorder) {
+			c.Recorder.Inc(obs.MCameraCaptures, 1)
+			if cap.Mixed() {
+				c.Recorder.Inc(obs.MCameraMixed, 1)
+			}
 		}
 		out = append(out, *cap)
 	}

@@ -24,6 +24,7 @@ import (
 	"rainbar/internal/colorspace"
 	"rainbar/internal/faults"
 	"rainbar/internal/geometry"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 )
 
@@ -199,6 +200,10 @@ type Channel struct {
 	// reproducible even though the channel's own PRNG is sequential.
 	Faults *faults.Chain
 
+	// Recorder, when set, counts channel activity (captures, photometric
+	// passes). Pixel output never depends on it.
+	Recorder obs.Recorder
+
 	// captures counts Capture calls, indexing the fault chain.
 	captures int
 }
@@ -312,6 +317,9 @@ func (ch *Channel) warpWithJitter(frame *raster.Image, jx, jy float64) (*raster.
 // into a pooled buffer; only the pure per-pixel arithmetic then fans out
 // across rows. The output is therefore independent of GOMAXPROCS.
 func (ch *Channel) Photometric(img *raster.Image) *raster.Image {
+	if obs.Enabled(ch.Recorder) {
+		ch.Recorder.Inc(obs.MChannelPhotometric, 1)
+	}
 	out := img.GaussianBlur(ch.cfg.effectiveBlurSigma())
 	if ch.cfg.MotionBlurPx > 1 {
 		mb := out.MotionBlurHorizontal(ch.cfg.MotionBlurPx)
@@ -440,6 +448,9 @@ func photom(v uint8, bright, contrast, ambient, noise float64) uint8 {
 // and aligned timing) would produce. When the fault chain drops the
 // capture, Capture returns faults.ErrFrameDropped.
 func (ch *Channel) Capture(frame *raster.Image) (*raster.Image, error) {
+	if obs.Enabled(ch.Recorder) {
+		ch.Recorder.Inc(obs.MChannelCaptures, 1)
+	}
 	warped, err := ch.Warp(frame)
 	if err != nil {
 		return nil, err

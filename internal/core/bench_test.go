@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rainbar/internal/channel"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 )
 
@@ -121,5 +122,41 @@ func BenchmarkAssemblePayload(b *testing.B) {
 		if _, err := c.AssemblePayload(gd.Cells, gd.Header); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkReceiverProcessRecorded(b *testing.B) {
+	// BenchmarkReceiverProcess with a live in-memory recorder attached —
+	// the pair bounds the observability overhead on the hot path (the
+	// acceptance budget is <=3% over the no-op baseline).
+	c, err := NewCodec(Config{
+		Geometry: testGeometry(b), DisplayRate: 10, AppType: 1,
+		Recorder: obs.NewMemory(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := channel.MustNew(channel.DefaultConfig())
+	const batch = 4
+	caps := make([]*raster.Image, batch)
+	for i := range caps {
+		f, err := c.EncodeFrame(payloadFor(c, int64(i)), uint16(i), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caps[i], err = ch.Capture(f.Render())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx := NewReceiver(c)
+		for _, capt := range caps {
+			if err := rx.Ingest(capt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rx.Flush()
 	}
 }

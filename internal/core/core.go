@@ -14,6 +14,7 @@ import (
 
 	"rainbar/internal/core/header"
 	"rainbar/internal/core/layout"
+	"rainbar/internal/obs"
 	"rainbar/internal/rs"
 )
 
@@ -47,6 +48,13 @@ type Config struct {
 	// §III-E: locators are placed purely by dead reckoning from the
 	// previous one. Decoder-side only.
 	DisableLocationCorrection bool
+
+	// Recorder receives pipeline metrics (stage timings, classification
+	// tallies, RS correction load). Nil disables instrumentation at
+	// negligible cost. The codec never constructs clocks or recorders
+	// itself: span durations come from whatever clock the injected
+	// recorder was built with, keeping decode behavior deterministic.
+	Recorder obs.Recorder
 }
 
 // Codec encodes and decodes RainBar frames. Create with NewCodec; a Codec
@@ -56,6 +64,9 @@ type Codec struct {
 	rsc      *rs.Codec
 	msgSizes []int // data bytes per RS message within one frame
 	capacity int   // payload bytes per frame
+
+	rec   obs.Recorder // never nil; obs.Nop() when unset
+	obsOn bool         // gates observation-only work on the hot path
 }
 
 // Errors reported by the codec.
@@ -89,7 +100,7 @@ func NewCodec(cfg Config) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	c := &Codec{cfg: cfg, rsc: rsc}
+	c := &Codec{cfg: cfg, rsc: rsc, rec: obs.OrNop(cfg.Recorder), obsOn: obs.Enabled(cfg.Recorder)}
 
 	// Partition the frame's data area into RS messages. Full messages are
 	// 255 bytes; the remainder forms a short final message if it can hold

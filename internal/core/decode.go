@@ -8,6 +8,7 @@ import (
 	"rainbar/internal/core/header"
 	"rainbar/internal/core/layout"
 	"rainbar/internal/geometry"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 )
 
@@ -97,6 +98,7 @@ func (c *Codec) DecodeGrid(img *raster.Image) (*GridDecode, error) {
 // the asymmetric corner trackers (green left, red right) reveal a
 // half-turn orientation, and the decode reruns on the rotated image.
 func (c *Codec) DecodeGridLoose(img *raster.Image) (*GridDecode, error) {
+	c.rec.Inc(obs.MCoreCaptures, 1)
 	gd, err := c.decodeGridOriented(img)
 	if err != nil && errors.Is(err, ErrNoCornerTrackers) {
 		if gd2, err2 := c.decodeGridOriented(img.Rotate180()); err2 == nil {
@@ -107,15 +109,22 @@ func (c *Codec) DecodeGridLoose(img *raster.Image) (*GridDecode, error) {
 }
 
 func (c *Codec) decodeGridOriented(img *raster.Image) (*GridDecode, error) {
+	endDetect := c.rec.Span(obsSpanDetect)
 	det, err := c.detect(img)
+	endDetect()
 	if err != nil {
 		return nil, err
 	}
+	endLocate := c.rec.Span(obsSpanLocate)
 	lm, err := c.locateAll(img, det)
+	endLocate()
 	if err != nil {
 		return nil, err
 	}
-	return c.extractGrid(img, det, lm)
+	endExtract := c.rec.Span(obsSpanExtract)
+	gd, err := c.extractGrid(img, det, lm)
+	endExtract()
+	return gd, err
 }
 
 // extractGrid is the sampling/classification back half of the grid decode:
@@ -149,6 +158,26 @@ func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (
 	}
 	for i, cell := range g.DataCells() {
 		gd.Cells[i] = sample(cell.Row, cell.Col)
+	}
+
+	if c.obsOn {
+		if hdrErr != nil {
+			c.rec.Inc(obs.MCoreHeaderCRCFailures, 1)
+		}
+		c.rec.Observe(obs.MCoreLocatorMisses, float64(lm.misses))
+		// Confusion tallies are batched per frame: one local histogram
+		// over the cells, then one Inc per color that appeared.
+		var tally [colorspace.Black + 1]int64
+		for _, col := range gd.Cells {
+			if int(col) < len(tally) {
+				tally[col]++
+			}
+		}
+		for col, n := range tally {
+			if n > 0 {
+				c.rec.Inc(obsCellSeries[col], n)
+			}
+		}
 	}
 
 	// Tracking bars: a row is attributable only when its left and right

@@ -7,6 +7,7 @@ import (
 	"rainbar/internal/core/header"
 	"rainbar/internal/core/layout"
 	"rainbar/internal/crc"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 )
 
@@ -169,6 +170,18 @@ func (c *Codec) EncodeAll(data []byte, startSeq uint16) ([]*Frame, error) {
 // budget would guarantee failure, so a message with too many falls back
 // to errors-only decoding).
 func (c *Codec) decodePayload(stream []byte, suspect []bool, want uint16) ([]byte, error) {
+	endCorrect := c.rec.Span(obsSpanCorrect)
+	var corrected, erased int64
+	defer func() {
+		endCorrect()
+		if corrected > 0 {
+			c.rec.Inc(obs.MCoreRSErrorsCorrected, corrected)
+		}
+		if erased > 0 {
+			c.rec.Inc(obs.MCoreRSErasures, erased)
+		}
+	}()
+
 	payload := make([]byte, 0, c.capacity)
 	off := 0
 	for _, k := range c.msgSizes {
@@ -184,14 +197,18 @@ func (c *Codec) decodePayload(stream []byte, suspect []bool, want uint16) ([]byt
 				erasures = nil
 			}
 		}
-		data, err := c.rsc.Decode(stream[off:off+n], erasures)
+		data, fixed, err := c.rsc.DecodeCounted(stream[off:off+n], erasures)
+		used := len(erasures)
 		if err != nil && erasures != nil {
 			// The erasure guesses may themselves be wrong; retry blind.
-			data, err = c.rsc.Decode(stream[off:off+n], nil)
+			data, fixed, err = c.rsc.DecodeCounted(stream[off:off+n], nil)
+			used = 0
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
+		corrected += int64(fixed)
+		erased += int64(used)
 		payload = append(payload, data...)
 		off += n
 	}

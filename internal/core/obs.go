@@ -1,0 +1,47 @@
+package core
+
+import (
+	"rainbar/internal/colorspace"
+	"rainbar/internal/obs"
+)
+
+// Precomputed labeled series names keep the per-capture decode path free
+// of string concatenation. The label values mirror StageTimings fields and
+// the FailureClass / colorspace.Color string forms.
+var (
+	obsSpanDetect  = obs.With(obs.MCoreStageSeconds, "stage", "detect")
+	obsSpanLocate  = obs.With(obs.MCoreStageSeconds, "stage", "locate")
+	obsSpanExtract = obs.With(obs.MCoreStageSeconds, "stage", "extract")
+	obsSpanCorrect = obs.With(obs.MCoreStageSeconds, "stage", "correct")
+
+	obsCellSeries = [colorspace.Black + 1]string{
+		colorspace.White: obs.With(obs.MCoreCellsClassified, "color", "white"),
+		colorspace.Red:   obs.With(obs.MCoreCellsClassified, "color", "red"),
+		colorspace.Green: obs.With(obs.MCoreCellsClassified, "color", "green"),
+		colorspace.Blue:  obs.With(obs.MCoreCellsClassified, "color", "blue"),
+		colorspace.Black: obs.With(obs.MCoreCellsClassified, "color", "black"),
+	}
+
+	obsFailureSeries = map[FailureClass]string{
+		FailDropped: obs.With(obs.MCoreDecodeFailures, "stage", string(FailDropped)),
+		FailDetect:  obs.With(obs.MCoreDecodeFailures, "stage", string(FailDetect)),
+		FailLocate:  obs.With(obs.MCoreDecodeFailures, "stage", string(FailLocate)),
+		FailHeader:  obs.With(obs.MCoreDecodeFailures, "stage", string(FailHeader)),
+		FailSync:    obs.With(obs.MCoreDecodeFailures, "stage", string(FailSync)),
+		FailCorrect: obs.With(obs.MCoreDecodeFailures, "stage", string(FailCorrect)),
+		FailOther:   obs.With(obs.MCoreDecodeFailures, "stage", string(FailOther)),
+	}
+)
+
+// recordFailure counts one decode-path failure under its FailureClass.
+func (c *Codec) recordFailure(err error) {
+	if !c.obsOn || err == nil {
+		return
+	}
+	class := ClassifyFailure(err)
+	name, ok := obsFailureSeries[class]
+	if !ok {
+		name = obs.With(obs.MCoreDecodeFailures, "stage", string(class))
+	}
+	c.rec.Inc(name, 1)
+}

@@ -7,6 +7,7 @@ import (
 	"rainbar/internal/colorspace"
 	"rainbar/internal/core/header"
 	"rainbar/internal/core/layout"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 )
 
@@ -114,6 +115,12 @@ func NewReceiver(c *Codec) *Receiver {
 // with an unreadable header are still mined for rows when the sequence
 // can be inferred from the tracking bars and the last known sequence.
 func (rx *Receiver) Ingest(img *raster.Image) error {
+	err := rx.ingest(img)
+	rx.codec.recordFailure(err)
+	return err
+}
+
+func (rx *Receiver) ingest(img *raster.Image) error {
 	gd, err := rx.codec.DecodeGridLoose(img)
 	if err != nil {
 		return err
@@ -305,6 +312,7 @@ func (rx *Receiver) ingestWholeFrame(gd *GridDecode) {
 	hdr, _ := pf.header()
 	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
 	if err == nil {
+		rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
 		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
 		delete(rx.partial, seq)
 	}
@@ -349,6 +357,7 @@ func (rx *Receiver) tryComplete(seq uint16) {
 	if err != nil {
 		return
 	}
+	rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
 	rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
 	delete(rx.partial, seq)
 }
@@ -366,6 +375,11 @@ func (rx *Receiver) Flush() {
 			continue
 		}
 		payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+		if err == nil {
+			rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
+		} else {
+			rx.codec.recordFailure(err)
+		}
 		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload, Err: err}
 		delete(rx.partial, seq)
 	}

@@ -12,6 +12,7 @@ import (
 	"rainbar/internal/colorspace"
 	"rainbar/internal/core"
 	"rainbar/internal/core/layout"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 	"rainbar/internal/rdcode"
 	"rainbar/internal/transport"
@@ -33,6 +34,9 @@ type Options struct {
 	// FaultSpec, when non-empty, adds a custom condition to the fault sweep
 	// (faults.ParseSpec syntax, e.g. "drop=0.2,occlude=0.1").
 	FaultSpec string
+	// Recorder, when set, receives pipeline and worker-pool metrics from
+	// every sweep point. Tables are bit-identical with or without it.
+	Recorder obs.Recorder
 }
 
 // DefaultOptions returns the standard configuration.
@@ -90,7 +94,7 @@ func Fig10aDistance(o Options) (*Table, error) {
 		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
 		cfg := errChannel()
 		cfg.DistanceCM = distances[i]
-		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, k%2)})
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, k%2)})
 		if err != nil {
 			return fmt.Errorf("fig10a %s d=%v: %w", sys, distances[i], err)
 		}
@@ -126,7 +130,7 @@ func Fig10bViewAngle(o Options) (*Table, error) {
 		sys := []System{SystemRainBar, SystemCOBRA}[s]
 		cfg := errChannel()
 		cfg.ViewAngleDeg = angles[i]
-		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: blocks[j], DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+s)})
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: blocks[j], DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+s)})
 		if err != nil {
 			return fmt.Errorf("fig10b %s a=%v b=%d: %w", sys, angles[i], blocks[j], err)
 		}
@@ -157,7 +161,7 @@ func Fig10cBlockSize(o Options) (*Table, error) {
 	rates := make([]float64, 2*len(blocks))
 	err := forEachPoint(o, len(rates), func(k int) error {
 		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
-		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: errChannel(), Seed: seedAt(o.Seed, i, 0)})
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: errChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
 			return fmt.Errorf("fig10c %s b=%d: %w", sys, blocks[i], err)
 		}
@@ -194,7 +198,7 @@ func Fig10dBrightness(o Options) (*Table, error) {
 		cfg := errChannel()
 		cfg.ScreenBrightness = brightness[i]
 		cfg.Ambient = ambients[j]
-		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+s)})
+		m, err := RunErrorRate(sys, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 2*j+s)})
 		if err != nil {
 			return fmt.Errorf("fig10d %s b=%v: %w", sys, brightness[i], err)
 		}
@@ -237,7 +241,7 @@ func Fig11DisplayRate(o Options) (*Table, *Table, error) {
 	metrics := make([]Metrics, 2*len(displayRateSweep))
 	err := forEachPoint(o, len(metrics), func(k int) error {
 		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
-		m, err := RunStream(sys, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: displayRateSweep[i], Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+		m, err := RunStream(sys, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: displayRateSweep[i], Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
 			return fmt.Errorf("fig11 %s fps=%v: %w", sys, displayRateSweep[i], err)
 		}
@@ -270,7 +274,7 @@ func Fig11cBlockSize(o Options) (*Table, error) {
 	metrics := make([]Metrics, 2*len(blocks))
 	err := forEachPoint(o, len(metrics), func(k int) error {
 		i, sys := k/2, []System{SystemRainBar, SystemCOBRA}[k%2]
-		m, err := RunStream(sys, RunConfig{Scale: o.Scale, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+		m, err := RunStream(sys, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
 			return fmt.Errorf("fig11c %s b=%d: %w", sys, blocks[i], err)
 		}
@@ -305,7 +309,7 @@ func Table1Throughput(o Options) (*Table, error) {
 	metrics := make([]Metrics, len(systems)*reps)
 	err := forEachPoint(o, len(metrics), func(k int) error {
 		j, r := k/reps, k%reps
-		m, err := RunStream(systems[j], RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, r, j)})
+		m, err := RunStream(systems[j], RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, r, j)})
 		if err != nil {
 			return fmt.Errorf("table1 %s: %w", systems[j], err)
 		}
@@ -339,7 +343,7 @@ func Fig12aBlockSize(o Options) (*Table, error) {
 	blocks := []int{8, 9, 10, 11, 12, 13, 14}
 	metrics := make([]Metrics, len(blocks))
 	err := forEachPoint(o, len(metrics), func(i int) error {
-		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: blocks[i], DisplayRate: defaultRate, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
 			return fmt.Errorf("fig12a b=%d: %w", blocks[i], err)
 		}
@@ -368,7 +372,7 @@ func Fig12bDisplayRate(o Options) (*Table, error) {
 	}
 	metrics := make([]Metrics, len(displayRateSweep))
 	err := forEachPoint(o, len(metrics), func(i int) error {
-		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: displayRateSweep[i], Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+		m, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: displayRateSweep[i], Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 		if err != nil {
 			return fmt.Errorf("fig12b fps=%v: %w", displayRateSweep[i], err)
 		}
@@ -672,18 +676,22 @@ func TextTransfer(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText)})
+		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText), Recorder: o.Recorder})
 		if err != nil {
 			return err
 		}
+		link := transport.Link{
+			Channel:     channel.MustNew(cfg),
+			Camera:      cameraDefault(),
+			DisplayRate: defaultRate,
+		}
+		link.Channel.Recorder = o.Recorder
+		link.Camera.Recorder = o.Recorder
 		sess := &transport.Session{
-			Codec: codec,
-			Link: transport.Link{
-				Channel:     channel.MustNew(cfg),
-				Camera:      cameraDefault(),
-				DisplayRate: defaultRate,
-			},
+			Codec:     codec,
+			Link:      link,
 			MaxRounds: 10,
+			Recorder:  o.Recorder,
 		}
 		text := workload.Text(codec.FrameCapacity()*4, seedAt(o.Seed, i, 1))
 		got, stats, err := sess.Transfer(text)

@@ -65,12 +65,16 @@ func FaultSweep(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText)})
+		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText), Recorder: o.Recorder})
 		if err != nil {
 			return err
 		}
 		cam := cameraDefault()
 		cam.Faults = chain
+		cam.Recorder = o.Recorder
+		if chain != nil {
+			chain.Recorder = o.Recorder
+		}
 		sess := &transport.Session{
 			Codec: codec,
 			Link: transport.Link{
@@ -79,6 +83,7 @@ func FaultSweep(o Options) (*Table, error) {
 				DisplayRate: defaultRate,
 			},
 			MaxRounds: 12,
+			Recorder:  o.Recorder,
 		}
 		text := workload.Text(codec.FrameCapacity()*4, seedAt(o.Seed, i, 1))
 		got, stats, err := sess.Transfer(text)

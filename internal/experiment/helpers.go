@@ -28,7 +28,7 @@ func runStreamSync(o Options, fps float64, disableSync bool, seed int64) (float6
 	if err != nil {
 		return 0, err
 	}
-	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(fps)})
+	codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(fps), Recorder: o.Recorder})
 	if err != nil {
 		return 0, err
 	}
@@ -38,6 +38,7 @@ func runStreamSync(o Options, fps float64, disableSync bool, seed int64) (float6
 	if err != nil {
 		return 0, err
 	}
+	ch.Recorder = o.Recorder
 	rng := rand.New(rand.NewSource(seed))
 
 	// Warmup/cooldown frames bracket the measured window (see RunStream).

@@ -34,7 +34,7 @@ func LightSyncComparison(o Options) (*Table, error) {
 	err := forEachPoint(o, 2*len(rates), func(k int) error {
 		i, fps := k/2, rates[k/2]
 		if k%2 == 0 {
-			rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
+			rb, err := RunStream(SystemRainBar, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: fps, Channel: streamChannel(), Seed: seedAt(o.Seed, i, 0)})
 			if err != nil {
 				return fmt.Errorf("lightsync comparison rainbar fps=%v: %w", fps, err)
 			}
@@ -139,7 +139,7 @@ func AlphabetRobustness(o Options) (*Table, error) {
 		cfg.ChromaNoiseStdDev = sigma
 		cfg.ChromaNoiseScalePx = 8
 		if k%2 == 0 {
-			rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 0)})
+			rb, err := RunErrorRate(SystemRainBar, RunConfig{Scale: o.Scale, Recorder: o.Recorder, BlockSize: defaultBlock, DisplayRate: defaultRate, Channel: cfg, Seed: seedAt(o.Seed, i, 0)})
 			if err != nil {
 				return fmt.Errorf("alphabet rainbar sigma=%v: %w", sigma, err)
 			}

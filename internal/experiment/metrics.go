@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rainbar/internal/obs"
+)
+
+// MetricsTable renders a recorder snapshot in the same aligned-table
+// format as the experiment results, one row per series: counters report
+// their value, histograms their sample count, mean and total. It is the
+// per-sweep-point observability companion to the result tables —
+// rainbar-bench emits it after a run when -metrics is set. Unlike result
+// tables, span-timing rows carry wall-clock durations and are not
+// deterministic; the result tables themselves never read the recorder.
+func MetricsTable(snap []obs.Series) *Table {
+	t := &Table{
+		ID:      "metrics",
+		Title:   "Pipeline observability summary",
+		Columns: []string{"series", "kind", "count", "mean", "total"},
+		Notes: []string{
+			"histogram rows: count = samples, mean/total in the series' native unit (seconds for *_seconds)",
+			"timings are wall-clock and vary run to run; all result tables are produced without reading these",
+		},
+	}
+	for _, s := range snap {
+		switch s.Kind {
+		case "counter":
+			t.AddRow(s.Name, s.Kind, "", "", fmt.Sprintf("%d", s.Value))
+		case "histogram":
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.Sum / float64(s.Count)
+			}
+			t.AddRow(s.Name, s.Kind, fmt.Sprintf("%d", s.Count),
+				fmt.Sprintf("%.4g", mean), fmt.Sprintf("%.4g", s.Sum))
+		}
+	}
+	return t
+}

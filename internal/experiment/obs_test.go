@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"rainbar/internal/obs"
+)
+
+// TestRecorderLeavesTablesByteIdentical pins the observability contract:
+// attaching a live in-memory recorder to a sweep must leave every emitted
+// table byte-for-byte identical to the unobserved run. The recorder only
+// watches; nothing it measures may flow back into results.
+func TestRecorderLeavesTablesByteIdentical(t *testing.T) {
+	base := DefaultOptions()
+	base.Scale.Frames = 2
+
+	recorded := base
+	rec := obs.NewMemory()
+	recorded.Recorder = rec
+
+	for _, tc := range []struct {
+		name string
+		fn   func(Options) (*Table, error)
+	}{
+		{"fig10a", Fig10aDistance},
+		{"text-transfer", TextTransfer},
+		{"faults", FaultSweep},
+	} {
+		want, err := tc.fn(base)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", tc.name, err)
+		}
+		got, err := tc.fn(recorded)
+		if err != nil {
+			t.Fatalf("%s recorded: %v", tc.name, err)
+		}
+		if got.Format() != want.Format() {
+			t.Errorf("%s: recorder changed the table:\n--- without recorder ---\n%s--- with recorder ---\n%s",
+				tc.name, want.Format(), got.Format())
+		}
+	}
+
+	// The three sweeps above exercise the whole pipeline — codec stages,
+	// channel, camera, fault injection, transport rounds, worker pool — so
+	// the recorder must now hold a broad series set.
+	snap := rec.Snapshot()
+	names := make(map[string]bool)
+	for _, s := range snap {
+		names[s.Name] = true
+	}
+	if len(names) < 12 {
+		t.Errorf("recorder holds %d distinct series, want >= 12: %v", len(names), keys(names))
+	}
+	for _, want := range []string{
+		obs.MCoreCaptures,
+		obs.MTransportTransfers,
+		obs.MTransportRounds,
+		obs.MExperimentPoints,
+	} {
+		if !names[want] {
+			t.Errorf("recorder missing series %s after full-pipeline sweeps", want)
+		}
+	}
+	hasFault := false
+	for n := range names {
+		if strings.HasPrefix(n, obs.MFaultsInjected) {
+			hasFault = true
+		}
+	}
+	if !hasFault {
+		t.Errorf("recorder missing fault-injection series after fault sweep")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

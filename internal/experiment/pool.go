@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"rainbar/internal/obs"
 )
 
 // The experiment engine parallelizes at sweep-point granularity: every job
@@ -31,10 +33,30 @@ func (o Options) workers() int {
 // and the lowest-index error is reported, which is the same error a serial
 // run would have surfaced first.
 func forEachPoint(o Options, n int, job func(i int) error) error {
+	// Per-point observability: latency span, points counter, and a pool
+	// occupancy sample at each start. Results never depend on the recorder
+	// — it only ever watches.
+	rec := obs.OrNop(o.Recorder)
+	obsOn := obs.Enabled(o.Recorder)
+	var inflight atomic.Int64
+	run := func(i int) error {
+		if obsOn {
+			rec.Inc(obs.MExperimentPoints, 1)
+			rec.Observe(obs.MExperimentInflight, float64(inflight.Add(1)))
+		}
+		end := rec.Span(obs.MExperimentPointSeconds)
+		err := job(i)
+		end()
+		if obsOn {
+			inflight.Add(-1)
+		}
+		return err
+	}
+
 	workers := min(o.workers(), n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -52,7 +74,7 @@ func forEachPoint(o Options, n int, job func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = job(i)
+				errs[i] = run(i)
 			}
 		}()
 	}

@@ -12,6 +12,7 @@ import (
 	"rainbar/internal/colorspace"
 	"rainbar/internal/core"
 	"rainbar/internal/core/layout"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 	"rainbar/internal/screen"
 )
@@ -54,6 +55,9 @@ type RunConfig struct {
 	DisplayRate float64
 	Channel     channel.Config
 	Seed        int64
+	// Recorder, when set, instruments the point's codec, channel and
+	// camera. Metrics never feed back into results.
+	Recorder obs.Recorder
 }
 
 // Metrics aggregates a run.
@@ -95,7 +99,7 @@ func newSource(sys System, rc RunConfig) (*frameSource, error) {
 		if err != nil {
 			return nil, err
 		}
-		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(rc.DisplayRate)})
+		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: uint8(rc.DisplayRate), Recorder: rc.Recorder})
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +223,7 @@ func RunErrorRate(sys System, rc RunConfig) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	ch.Recorder = rc.Recorder
 	rng := rand.New(rand.NewSource(rc.Seed))
 
 	var wrong, total, fails int
@@ -270,6 +275,7 @@ func RunStream(sys System, rc RunConfig) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	ch.Recorder = rc.Recorder
 	rng := rand.New(rand.NewSource(rc.Seed))
 
 	// One warmup and one cooldown frame bracket the measured window: the
@@ -303,6 +309,7 @@ func RunStream(sys System, rc RunConfig) (Metrics, error) {
 	cam.TimingJitter = 3 * time.Millisecond
 	cam.Seed = rc.Seed
 	cam.Phase = time.Duration(rc.Seed%23) * time.Millisecond
+	cam.Recorder = rc.Recorder
 	caps, err := cam.Film(disp, ch)
 	if err != nil {
 		return Metrics{}, err

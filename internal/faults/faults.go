@@ -24,6 +24,7 @@ import (
 	"strconv"
 
 	"rainbar/internal/colorspace"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 )
 
@@ -65,6 +66,10 @@ type Chain struct {
 	Seed int64
 	// Injectors run in order; a drop short-circuits the rest.
 	Injectors []Injector
+	// Recorder, when set, mirrors every per-class application count as a
+	// labeled rainbar_faults_injected_total series. Fault decisions never
+	// depend on it.
+	Recorder obs.Recorder
 
 	counts map[string]int
 	drops  int
@@ -81,7 +86,7 @@ func (c *Chain) CloneFresh() *Chain {
 	if c == nil {
 		return nil
 	}
-	return &Chain{Seed: c.Seed, Injectors: c.Injectors}
+	return &Chain{Seed: c.Seed, Injectors: c.Injectors, Recorder: c.Recorder}
 }
 
 // splitmix64 is the standard avalanche mixer; it turns the structured
@@ -127,6 +132,9 @@ func (c *Chain) record(name string) {
 		c.counts = make(map[string]int)
 	}
 	c.counts[name]++
+	if obs.Enabled(c.Recorder) {
+		c.Recorder.Inc(obs.With(obs.MFaultsInjected, "class", name), 1)
+	}
 }
 
 // Counters returns a copy of the per-class application counts accumulated

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a series name into its base and its label body:
+// `x{a="b"}` -> ("x", `a="b"`). Unlabeled names return an empty body.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels renders a label body plus extra pairs back into {...} form.
+func joinLabels(body string, extra ...string) string {
+	parts := make([]string, 0, 2)
+	if body != "" {
+		parts = append(parts, body)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (text/plain; version 0.0.4). Output is deterministic: series
+// sorted by name, one # TYPE line per metric family, histogram buckets
+// cumulated with an explicit +Inf bound.
+func (m *Memory) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, m.Snapshot())
+}
+
+// WritePrometheus renders an already-taken snapshot; see the method.
+func WritePrometheus(w io.Writer, snap []Series) error {
+	typed := make(map[string]bool)
+	for _, s := range snap {
+		base, labels := splitName(s.Name)
+		if !typed[base] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, s.Kind); err != nil {
+				return err
+			}
+			typed[base] = true
+		}
+		switch s.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels), s.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Buckets[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					base, joinLabels(labels, `le="`+formatFloat(b)+`"`), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.Buckets[len(s.Bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, joinLabels(labels), formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels), s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonSeries is the JSON exposition shape of one series.
+type jsonSeries struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Value   *int64       `json:"value,omitempty"`
+	Count   *int64       `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"` // cumulative, matching Prometheus buckets
+}
+
+// WriteJSON renders the snapshot as an indented JSON array, sorted by
+// series name (deterministic for golden comparison).
+func (m *Memory) WriteJSON(w io.Writer) error {
+	return WriteJSON(w, m.Snapshot())
+}
+
+// WriteJSON renders an already-taken snapshot; see the method.
+func WriteJSON(w io.Writer, snap []Series) error {
+	out := make([]jsonSeries, 0, len(snap))
+	for _, s := range snap {
+		s := s
+		js := jsonSeries{Name: s.Name, Kind: s.Kind}
+		switch s.Kind {
+		case "counter":
+			js.Value = &s.Value
+		case "histogram":
+			js.Count = &s.Count
+			js.Sum = &s.Sum
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Buckets[i]
+				js.Buckets = append(js.Buckets, jsonBucket{LE: formatFloat(b), Count: cum})
+			}
+			cum += s.Buckets[len(s.Bounds)]
+			js.Buckets = append(js.Buckets, jsonBucket{LE: "+Inf", Count: cum})
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

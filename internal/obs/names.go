@@ -1,0 +1,85 @@
+package obs
+
+// Canonical series names emitted by the instrumented pipeline. Every name
+// here is documented in DESIGN.md §9; tests and the CI smoke step key on
+// them, so treat renames as format changes.
+const (
+	// --- core: the §III-C..F receiver pipeline ---
+
+	// MCoreCaptures counts grid decodes attempted (one per capture fed to
+	// DecodeGrid/DecodeGridLoose).
+	MCoreCaptures = "rainbar_core_captures_total"
+	// MCoreStageSeconds times each decode stage; label stage is one of
+	// detect, locate, extract, correct (the §IV-D breakdown).
+	MCoreStageSeconds = "rainbar_core_stage_seconds"
+	// MCoreHeaderCRCFailures counts header strips that failed their CRCs.
+	MCoreHeaderCRCFailures = "rainbar_core_header_crc_failures_total"
+	// MCoreLocatorMisses is the per-capture count of dead-reckoned code
+	// locators (the §III-E correction iterations that found nothing).
+	MCoreLocatorMisses = "rainbar_core_locator_misses"
+	// MCoreCellsClassified counts classified data cells by resulting
+	// color; label color is the colorspace name (white, black, red, green,
+	// blue). The off-diagonal mass of the paper's confusion analysis shows
+	// up as black/unexpected-color counts.
+	MCoreCellsClassified = "rainbar_core_cells_classified_total"
+	// MCoreRSErrorsCorrected counts byte errors Reed-Solomon repaired.
+	MCoreRSErrorsCorrected = "rainbar_core_rs_errors_corrected_total"
+	// MCoreRSErasures counts cells handed to RS as erasures.
+	MCoreRSErasures = "rainbar_core_rs_erasures_total"
+	// MCoreFramesDecoded counts logical frames reassembled successfully.
+	MCoreFramesDecoded = "rainbar_core_frames_decoded_total"
+	// MCoreDecodeFailures counts receiver ingest/flush failures; label
+	// stage is the core.FailureClass (detect, locate, header, sync,
+	// correct, dropped, other).
+	MCoreDecodeFailures = "rainbar_core_decode_failures_total"
+
+	// --- channel / camera: the simulated optical link ---
+
+	// MChannelCaptures counts single-shot channel captures.
+	MChannelCaptures = "rainbar_channel_captures_total"
+	// MChannelPhotometric counts photometric passes (one per camera
+	// capture and one per single-shot capture).
+	MChannelPhotometric = "rainbar_channel_photometric_total"
+	// MCameraCaptures counts captures the rolling-shutter camera kept.
+	MCameraCaptures = "rainbar_camera_captures_total"
+	// MCameraMixed counts kept captures mixing rows of two display frames.
+	MCameraMixed = "rainbar_camera_mixed_captures_total"
+	// MCameraDropped counts captures lost to injected whole-frame loss.
+	MCameraDropped = "rainbar_camera_frames_dropped_total"
+	// MFaultsInjected counts injector applications; label class is the
+	// injector name (drop, truncate, splice, burst, occlude, flicker,
+	// satclip).
+	MFaultsInjected = "rainbar_faults_injected_total"
+
+	// --- transport: session rounds and degradation ---
+
+	// MTransportTransfers counts Transfer/TransferLossy invocations.
+	MTransportTransfers = "rainbar_transport_transfers_total"
+	// MTransportRounds counts display rounds across all transfers.
+	MTransportRounds = "rainbar_transport_rounds_total"
+	// MTransportFramesSent counts frames displayed (retransmissions
+	// included).
+	MTransportFramesSent = "rainbar_transport_frames_sent_total"
+	// MTransportRetransmits counts frames re-displayed after the first
+	// round (the session's retransmission volume).
+	MTransportRetransmits = "rainbar_transport_retransmits_total"
+	// MTransportRateFallbacks counts display-rate fallback actions.
+	MTransportRateFallbacks = "rainbar_transport_rate_fallbacks_total"
+	// MTransportRoundSeconds times each display+decode round.
+	MTransportRoundSeconds = "rainbar_transport_round_seconds"
+	// MTransportDecodeFailures counts classified per-capture decode
+	// failures seen by sessions; label stage as MCoreDecodeFailures.
+	MTransportDecodeFailures = "rainbar_transport_decode_failures_total"
+
+	// --- experiment: the sweep-point worker pool ---
+
+	// MExperimentPoints counts sweep points executed.
+	MExperimentPoints = "rainbar_experiment_points_total"
+	// MExperimentPointSeconds times each sweep point.
+	MExperimentPointSeconds = "rainbar_experiment_point_seconds"
+	// MExperimentInflight samples worker-pool occupancy (points already
+	// running, including this one) at each point start.
+	MExperimentInflight = "rainbar_experiment_inflight"
+	// MExperimentTables counts experiment tables produced.
+	MExperimentTables = "rainbar_experiment_tables_total"
+)

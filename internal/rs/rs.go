@@ -94,19 +94,27 @@ func (c *Codec) Encode(data []byte) ([]byte, error) {
 // Decode returns ErrTooManyErrors when correction fails or produces an
 // inconsistent codeword.
 func (c *Codec) Decode(msg []byte, erasures []int) ([]byte, error) {
+	data, _, err := c.DecodeCounted(msg, erasures)
+	return data, err
+}
+
+// DecodeCounted is Decode reporting how many byte positions it corrected
+// (erasure fills included) — the per-message RS load the paper's
+// evaluation tracks. A clean codeword reports zero.
+func (c *Codec) DecodeCounted(msg []byte, erasures []int) (data []byte, corrected int, err error) {
 	if len(msg) < c.nparity {
-		return nil, ErrShortMessage
+		return nil, 0, ErrShortMessage
 	}
 	if len(msg) > 255 {
-		return nil, ErrLongMessage
+		return nil, 0, ErrLongMessage
 	}
 	for _, e := range erasures {
 		if e < 0 || e >= len(msg) {
-			return nil, fmt.Errorf("rs: erasure position %d out of range [0, %d)", e, len(msg))
+			return nil, 0, fmt.Errorf("rs: erasure position %d out of range [0, %d)", e, len(msg))
 		}
 	}
 	if len(erasures) > c.nparity {
-		return nil, ErrTooManyErrors
+		return nil, 0, ErrTooManyErrors
 	}
 
 	work := make([]byte, len(msg))
@@ -114,7 +122,7 @@ func (c *Codec) Decode(msg []byte, erasures []int) ([]byte, error) {
 
 	synd := c.syndromes(work)
 	if allZero(synd) {
-		return work[:len(work)-c.nparity], nil
+		return work[:len(work)-c.nparity], 0, nil
 	}
 
 	// Positions are conventionally expressed from the end of the message:
@@ -127,20 +135,20 @@ func (c *Codec) Decode(msg []byte, erasures []int) ([]byte, error) {
 
 	errLoc, err := c.errorLocator(synd, erasePos)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	positions, err := c.chienSearch(errLoc, len(msg))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := c.forneyCorrect(work, synd, errLoc, positions); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Verify: recompute syndromes after correction.
 	if !allZero(c.syndromes(work)) {
-		return nil, ErrTooManyErrors
+		return nil, 0, ErrTooManyErrors
 	}
-	return work[:len(work)-c.nparity], nil
+	return work[:len(work)-c.nparity], len(positions), nil
 }
 
 // syndromes evaluates the received polynomial at alpha^0..alpha^(nparity-1).

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"fmt"
+
+	"rainbar/internal/obs"
 )
 
 // Lossy delivery (§V, technical-report cases): unlike text, image and
@@ -112,11 +114,19 @@ func (s *Session) TransferLossy(data []byte) ([]byte, *LossyStats, error) {
 	faultBase, dropBase := s.faultBaseline()
 	var nextSeq uint16
 
+	s.obsInc(obs.MTransportTransfers, 1)
 	for round := 1; round <= maxRounds && len(missing) > 0; round++ {
 		stats.Rounds = round
+		s.obsInc(obs.MTransportRounds, 1)
+		endRound := obs.OrNop(s.Recorder).Span(obs.MTransportRoundSeconds)
 		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, s.Link.DisplayRate, &stats.Stats)
+		endRound()
 		if err != nil {
 			return nil, nil, err
+		}
+		s.obsInc(obs.MTransportFramesSent, int64(sent))
+		if round > 1 {
+			s.obsInc(obs.MTransportRetransmits, int64(sent))
 		}
 		stats.FramesSent += sent
 		stats.AirTime += airTime

@@ -7,6 +7,7 @@ import (
 	"rainbar/internal/camera"
 	"rainbar/internal/channel"
 	"rainbar/internal/core"
+	"rainbar/internal/obs"
 	"rainbar/internal/raster"
 	"rainbar/internal/screen"
 )
@@ -105,6 +106,24 @@ type Session struct {
 	// (default MaxRounds x chunks, the flat loop's worst case). When the
 	// budget runs out the transfer fails with the budget in the error.
 	FrameBudget int
+	// Recorder, when set, counts transfers, rounds, retransmissions and
+	// rate fallbacks, and times each round. Transfer outcomes never depend
+	// on it; round timing uses whatever clock the recorder was built with.
+	Recorder obs.Recorder
+}
+
+// obsInc counts delta on the session recorder when one is set.
+func (s *Session) obsInc(name string, delta int64) {
+	if obs.Enabled(s.Recorder) {
+		s.Recorder.Inc(name, delta)
+	}
+}
+
+// recordFailure mirrors one classified decode failure to the recorder.
+func (s *Session) recordFailure(c core.FailureClass) {
+	if c != "" && obs.Enabled(s.Recorder) {
+		s.Recorder.Inc(obs.With(obs.MTransportDecodeFailures, "stage", string(c)), 1)
+	}
 }
 
 // rateBackoff is the multiplicative rate reduction per fallback. The
@@ -174,6 +193,7 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 	faultBase, dropBase := s.faultBaseline()
 	var nextSeq uint16
 
+	s.obsInc(obs.MTransportTransfers, 1)
 	rate := s.Link.DisplayRate
 	stall := 0
 	for round := 1; round <= p.maxRounds && len(missing) > 0; round++ {
@@ -181,9 +201,16 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 			break // the next round would blow the retransmission budget
 		}
 		stats.Rounds = round
+		s.obsInc(obs.MTransportRounds, 1)
+		endRound := obs.OrNop(s.Recorder).Span(obs.MTransportRoundSeconds)
 		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, rate, stats)
+		endRound()
 		if err != nil {
 			return nil, nil, err
+		}
+		s.obsInc(obs.MTransportFramesSent, int64(sent))
+		if round > 1 {
+			s.obsInc(obs.MTransportRetransmits, int64(sent))
 		}
 		stats.FramesSent += sent
 		stats.AirTime += airTime
@@ -213,6 +240,7 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 		if stall >= p.stallN && rate > p.minRate {
 			rate = max(p.minRate, rate*rateBackoff)
 			stats.RateFallbacks++
+			s.obsInc(obs.MTransportRateFallbacks, 1)
 			stall = 0
 		}
 	}
@@ -296,13 +324,17 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 		// Individual captures may fail; the stream continues, but the
 		// failure class feeds the degradation policy's accounting.
 		if err := rx.Ingest(caps[i].Image); err != nil {
-			stats.addFailure(core.ClassifyFailure(err))
+			class := core.ClassifyFailure(err)
+			stats.addFailure(class)
+			s.recordFailure(class)
 		}
 	}
 	rx.Flush()
 	for _, df := range rx.Frames() {
 		if df.Err != nil {
-			stats.addFailure(core.ClassifyFailure(df.Err))
+			class := core.ClassifyFailure(df.Err)
+			stats.addFailure(class)
+			s.recordFailure(class)
 			continue
 		}
 		// Malformed payloads are simply not collected.

@@ -9,20 +9,46 @@
 // This package is the high-level facade. The building blocks live in
 // internal/: core (the codec), channel/screen/camera (the simulated
 // optical link), cobra and rdcode (the baselines), transport (file
-// transfer with retransmission), and experiment (the paper's evaluation
-// harness). See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// reproduced results.
+// transfer with retransmission), obs (pipeline observability), and
+// experiment (the paper's evaluation harness). See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for reproduced results.
+//
+// A codec is built with functional options:
+//
+//	c, err := rainbar.New(rainbar.WithBlockSize(13), rainbar.WithDisplayRate(10))
+//
+// and a whole link — codec, optical channel, rolling-shutter camera,
+// retransmitting transport — with the re-exported building blocks:
+//
+//	sess := rainbar.NewSession(c, rainbar.Link{
+//		Channel:     rainbar.MustNewChannel(rainbar.DefaultChannelConfig()),
+//		Camera:      rainbar.DefaultCamera(),
+//		DisplayRate: 10,
+//	})
+//	got, stats, err := sess.Transfer(data)
+//
+// Passing rainbar.WithRecorder(rainbar.NewMetrics()) instruments every
+// pipeline stage; the collected series expose as Prometheus text or JSON.
 package rainbar
 
 import (
 	"fmt"
+	"io"
 
+	"rainbar/internal/camera"
+	"rainbar/internal/channel"
 	"rainbar/internal/core"
 	"rainbar/internal/core/layout"
+	"rainbar/internal/faults"
+	"rainbar/internal/obs"
 	"rainbar/internal/transport"
 )
 
 // Options configures a RainBar link endpoint.
+//
+// Deprecated: Options remains only to serve NewFromOptions. New code
+// should call New with functional options (WithScreenSize, WithBlockSize,
+// ...), which cover strictly more of the codec surface.
 type Options struct {
 	// ScreenW, ScreenH are the sender's screen dimensions in pixels
 	// (default 1920x1080, the paper's Galaxy S4).
@@ -37,41 +63,192 @@ type Options struct {
 	RSParity int
 }
 
-func (o *Options) fill() {
-	if o.ScreenW == 0 {
-		o.ScreenW = 1920
-	}
-	if o.ScreenH == 0 {
-		o.ScreenH = 1080
-	}
-	if o.BlockSize == 0 {
-		o.BlockSize = 13
-	}
-	if o.DisplayRate == 0 {
-		o.DisplayRate = 10
-	}
+// config is the resolved option set New builds from.
+type config struct {
+	screenW, screenH int
+	blockSize        int
+	displayRate      int
+	rsParity         int
+	appType          AppType
+	recorder         Recorder
+
+	disableMiddleLocators     bool
+	disableLocationCorrection bool
+}
+
+func defaults() config {
+	return config{screenW: 1920, screenH: 1080, blockSize: 13, displayRate: 10}
+}
+
+// Option customizes a codec built by New. The zero option set reproduces
+// the paper's Galaxy S4 sender: 1920x1080 screen, 13 px blocks, 10 fps,
+// 16 RS parity bytes.
+type Option func(*config)
+
+// WithScreenSize sets the sender's screen dimensions in pixels.
+func WithScreenSize(w, h int) Option {
+	return func(c *config) { c.screenW, c.screenH = w, h }
+}
+
+// WithBlockSize sets the barcode block side in pixels.
+func WithBlockSize(px int) Option {
+	return func(c *config) { c.blockSize = px }
+}
+
+// WithDisplayRate sets the display rate in fps recorded in frame headers.
+func WithDisplayRate(fps int) Option {
+	return func(c *config) { c.displayRate = fps }
+}
+
+// WithRSParity sets the Reed-Solomon parity bytes per 255-byte message.
+func WithRSParity(n int) Option {
+	return func(c *config) { c.rsParity = n }
+}
+
+// WithAppType sets the application-type code placed in frame headers
+// (AppText, AppImage, ... — drives the transport's recovery policy).
+func WithAppType(t AppType) Option {
+	return func(c *config) { c.appType = t }
+}
+
+// WithRecorder instruments the codec's decode pipeline: per-stage span
+// timings, color-classification tallies, RS correction load, failure
+// counts. A nil recorder leaves instrumentation off (the default).
+func WithRecorder(r Recorder) Option {
+	return func(c *config) { c.recorder = r }
+}
+
+// WithoutMiddleLocators disables the middle code-locator column on the
+// decoder side (the paper's Fig. 4 ablation).
+func WithoutMiddleLocators() Option {
+	return func(c *config) { c.disableMiddleLocators = true }
+}
+
+// WithoutLocationCorrection disables the K-means locator refinement of
+// §III-E on the decoder side.
+func WithoutLocationCorrection() Option {
+	return func(c *config) { c.disableLocationCorrection = true }
 }
 
 // Codec is the public handle to a RainBar encoder/decoder pair.
 type Codec = core.Codec
 
-// New creates a codec with the given options (zero values take the
-// paper's defaults).
-func New(o Options) (*Codec, error) {
-	o.fill()
-	geo, err := layout.NewGeometry(o.ScreenW, o.ScreenH, o.BlockSize)
+// Receiver reassembles a stream of captured images into frames, using the
+// tracking-bar synchronization of §III-D to pair mixed captures.
+type Receiver = core.Receiver
+
+// NewReceiver creates a stream receiver over a codec.
+func NewReceiver(c *Codec) *Receiver { return core.NewReceiver(c) }
+
+// New creates a codec. Options override the paper's defaults.
+func New(opts ...Option) (*Codec, error) {
+	cfg := defaults()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	geo, err := layout.NewGeometry(cfg.screenW, cfg.screenH, cfg.blockSize)
 	if err != nil {
 		return nil, fmt.Errorf("rainbar: %w", err)
 	}
 	c, err := core.NewCodec(core.Config{
-		Geometry:    geo,
-		RSParity:    o.RSParity,
-		DisplayRate: uint8(o.DisplayRate),
+		Geometry:                  geo,
+		RSParity:                  cfg.rsParity,
+		DisplayRate:               uint8(cfg.displayRate),
+		AppType:                   uint8(cfg.appType),
+		DisableMiddleLocators:     cfg.disableMiddleLocators,
+		DisableLocationCorrection: cfg.disableLocationCorrection,
+		Recorder:                  cfg.recorder,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rainbar: %w", err)
 	}
 	return c, nil
+}
+
+// NewFromOptions creates a codec from the legacy Options struct (zero
+// values take the paper's defaults).
+//
+// Deprecated: use New with functional options.
+func NewFromOptions(o Options) (*Codec, error) {
+	opts := []Option{}
+	if o.ScreenW != 0 || o.ScreenH != 0 {
+		opts = append(opts, WithScreenSize(o.ScreenW, o.ScreenH))
+	}
+	if o.BlockSize != 0 {
+		opts = append(opts, WithBlockSize(o.BlockSize))
+	}
+	if o.DisplayRate != 0 {
+		opts = append(opts, WithDisplayRate(o.DisplayRate))
+	}
+	if o.RSParity != 0 {
+		opts = append(opts, WithRSParity(o.RSParity))
+	}
+	return New(opts...)
+}
+
+// ---------------------------------------------------------------------------
+// Optical link building blocks.
+
+// Channel is the simulated screen-to-camera optical channel: perspective,
+// lens curvature, blur, photometric distortion and chroma noise.
+type Channel = channel.Channel
+
+// ChannelConfig parameterizes a Channel (distance, view angle,
+// brightness, ambient light, noise).
+type ChannelConfig = channel.Config
+
+// DefaultChannelConfig returns the paper's nominal capture condition.
+func DefaultChannelConfig() ChannelConfig { return channel.DefaultConfig() }
+
+// NewChannel validates the configuration and builds a channel.
+func NewChannel(cfg ChannelConfig) (*Channel, error) { return channel.New(cfg) }
+
+// MustNewChannel is NewChannel but panics on error.
+func MustNewChannel(cfg ChannelConfig) *Channel { return channel.MustNew(cfg) }
+
+// Camera is the rolling-shutter receiver camera model.
+type Camera = camera.Camera
+
+// DefaultCamera returns the paper's receiver camera (30 fps rolling
+// shutter).
+func DefaultCamera() Camera { return camera.Default() }
+
+// ---------------------------------------------------------------------------
+// Transport: whole-file transfer over the link.
+
+// Session drives a file transfer over a link with per-round selective
+// retransmission and display-rate fallback (§V).
+type Session = transport.Session
+
+// Link bundles the channel, camera and display rate a Session sends
+// through.
+type Link = transport.Link
+
+// Stats reports what a Transfer did: rounds, frames sent/dropped, rate
+// fallbacks, goodput.
+type Stats = transport.Stats
+
+// LossyStats extends Stats with the concealment report of a lossy
+// (media) transfer.
+type LossyStats = transport.LossyStats
+
+// AppType classifies a payload, driving transport recovery policy.
+type AppType = transport.AppType
+
+// Application types.
+const (
+	AppGeneric = transport.AppGeneric
+	AppText    = transport.AppText
+	AppImage   = transport.AppImage
+	AppAudio   = transport.AppAudio
+)
+
+// NewSession builds a transfer session over a link. Tune retransmission
+// via the Session fields (MaxRounds, MinDisplayRate, FrameBudget) before
+// calling Transfer or TransferLossy; set Session.Recorder to observe
+// rounds, retransmissions and rate fallbacks.
+func NewSession(c *Codec, link Link) *Session {
+	return &Session{Codec: c, Link: link}
 }
 
 // FileCodec chunks whole files into frames and back; see
@@ -83,3 +260,47 @@ type Collector = transport.Collector
 
 // NewCollector creates an empty reassembly collector.
 func NewCollector() *Collector { return transport.NewCollector() }
+
+// ---------------------------------------------------------------------------
+// Observability.
+
+// Recorder receives pipeline metrics. See internal/obs for the contract;
+// NewMetrics returns the standard in-memory implementation.
+type Recorder = obs.Recorder
+
+// Metrics is an in-memory, concurrency-safe metrics recorder. Expose the
+// collected series with WriteMetricsPrometheus or WriteMetricsJSON.
+type Metrics = obs.Memory
+
+// NewMetrics creates an in-memory recorder using a wall clock for span
+// timings.
+func NewMetrics() *Metrics { return obs.NewMemory() }
+
+// WriteMetricsPrometheus writes the recorder's series in Prometheus text
+// exposition format.
+func WriteMetricsPrometheus(w io.Writer, m *Metrics) error { return m.WritePrometheus(w) }
+
+// WriteMetricsJSON writes the recorder's series as indented JSON.
+func WriteMetricsJSON(w io.Writer, m *Metrics) error { return m.WriteJSON(w) }
+
+// ---------------------------------------------------------------------------
+// Error sentinels. All are checkable with errors.Is against errors
+// returned anywhere in the pipeline.
+
+var (
+	// ErrFrameDropped reports a capture discarded by injected link faults.
+	ErrFrameDropped = faults.ErrFrameDropped
+	// ErrLocatorLost means the decoder lost the code-locator columns.
+	ErrLocatorLost = core.ErrLocatorLost
+	// ErrNoCornerTrackers means the decoder could not find both corner
+	// trackers in a captured image.
+	ErrNoCornerTrackers = core.ErrNoCornerTrackers
+	// ErrBadFrame means a frame failed error correction or its checksum.
+	ErrBadFrame = core.ErrBadFrame
+	// ErrPayloadTooLarge means Encode was given more bytes than one frame
+	// holds.
+	ErrPayloadTooLarge = core.ErrPayloadTooLarge
+	// ErrInconsistentBars means the tracking bars disagree with the header
+	// by 2 or more steps; the paper drops such captures (§III-D).
+	ErrInconsistentBars = core.ErrInconsistentBars
+)

@@ -2,14 +2,15 @@ package rainbar_test
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 
 	"rainbar"
-	"rainbar/internal/channel"
 )
 
 func TestNewDefaults(t *testing.T) {
-	c, err := rainbar.New(rainbar.Options{})
+	c, err := rainbar.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,16 +22,35 @@ func TestNewDefaults(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := rainbar.New(rainbar.Options{ScreenW: 50, ScreenH: 50}); err == nil {
+	if _, err := rainbar.New(rainbar.WithScreenSize(50, 50)); err == nil {
 		t.Fatal("tiny screen accepted")
 	}
-	if _, err := rainbar.New(rainbar.Options{RSParity: 500}); err == nil {
+	if _, err := rainbar.New(rainbar.WithRSParity(500)); err == nil {
 		t.Fatal("oversized parity accepted")
 	}
 }
 
+func TestNewFromOptionsShim(t *testing.T) {
+	// The deprecated struct constructor must build codecs identical to the
+	// functional-option path, including the zero-value defaults.
+	old, err := rainbar.NewFromOptions(rainbar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := rainbar.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.FrameCapacity() != cur.FrameCapacity() {
+		t.Fatalf("shim capacity %d != options capacity %d", old.FrameCapacity(), cur.FrameCapacity())
+	}
+	if _, err := rainbar.NewFromOptions(rainbar.Options{ScreenW: 50, ScreenH: 50}); err == nil {
+		t.Fatal("shim accepted tiny screen")
+	}
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
-	c, err := rainbar.New(rainbar.Options{ScreenW: 640, ScreenH: 360, BlockSize: 12})
+	c, err := rainbar.New(rainbar.WithScreenSize(640, 360), rainbar.WithBlockSize(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +58,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	data := []byte("the public facade must round-trip a small file through frames and a channel")
 
 	col := rainbar.NewCollector()
-	ch, err := channel.New(channel.DefaultConfig())
+	ch, err := rainbar.NewChannel(rainbar.DefaultChannelConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,5 +90,72 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if !bytes.Equal(gotFile, data) {
 		t.Fatal("facade round trip corrupted the file")
+	}
+}
+
+func TestErrorSentinels(t *testing.T) {
+	c, err := rainbar.New(rainbar.WithScreenSize(640, 360), rainbar.WithBlockSize(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized payload surfaces through the facade sentinel.
+	big := make([]byte, c.FrameCapacity()+1)
+	if _, err := c.EncodeFrame(big, 0, false); !errors.Is(err, rainbar.ErrPayloadTooLarge) {
+		t.Fatalf("EncodeFrame(oversized) = %v, want ErrPayloadTooLarge", err)
+	}
+	// A blank (all-white) image has no corner trackers.
+	f, err := c.EncodeFrame([]byte("x"), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := f.Render()
+	white := img.Pix[0] // top-left corner of a frame is background white
+	for i := range img.Pix {
+		img.Pix[i] = white
+	}
+	if _, _, err := c.DecodeFrame(img); !errors.Is(err, rainbar.ErrNoCornerTrackers) {
+		t.Fatalf("DecodeFrame(blank) = %v, want ErrNoCornerTrackers", err)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	m := rainbar.NewMetrics()
+	c, err := rainbar.New(
+		rainbar.WithScreenSize(640, 360),
+		rainbar.WithBlockSize(12),
+		rainbar.WithRecorder(m),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, c.FrameCapacity())
+	f, err := c.EncodeFrame(payload, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.DecodeFrame(f.Render()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rainbar.WriteMetricsPrometheus(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"rainbar_core_captures_total 1",
+		`rainbar_core_stage_seconds_count{stage="detect"} 1`,
+		`rainbar_core_stage_seconds_count{stage="correct"} 1`,
+		"rainbar_core_cells_classified_total{color=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := rainbar.WriteMetricsJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rainbar_core_captures_total"`) {
+		t.Errorf("json exposition missing captures counter:\n%s", buf.String())
 	}
 }

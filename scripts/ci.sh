@@ -1,22 +1,32 @@
 #!/bin/sh
-# CI verify recipe: build, vet, the repo's own contract analyzers
-# (rainbar-lint, DESIGN.md §8), tests, the full suite under the race
-# detector, then a short fuzz smoke pass. The lint gate fails the build on
-# any determinism / error-discipline / concurrency contract breach; the
-# race step protects the parallel experiment engine and the row-parallel
-# raster kernels; the fuzz steps keep the decode paths panic-free on
-# corrupt input (Go runs one fuzz target per invocation, hence one line
-# each). Set CI_FUZZ=0 to skip the fuzz smoke locally and keep the
-# build+lint+test gate fast. Run before every merge.
+# CI verify recipe: build (all CLIs included), vet, the repo's own
+# contract analyzers (rainbar-lint, DESIGN.md §8), tests, the full suite
+# under the race detector, a metrics smoke run, then a short fuzz smoke
+# pass. The lint gate fails the build on any determinism /
+# error-discipline / observability / concurrency contract breach; the
+# race step protects the parallel experiment engine, the row-parallel
+# raster kernels and the sharded metrics recorder; the metrics smoke
+# proves rainbar-bench can instrument a sweep end to end; the fuzz steps
+# keep the decode paths panic-free on corrupt input (Go runs one fuzz
+# target per invocation, hence one line each). Set CI_FUZZ=0 to skip the
+# fuzz smoke locally and keep the build+lint+test gate fast. Run before
+# every merge.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
+go build -o /dev/null ./cmd/rainbar-bench
+go build -o /dev/null ./cmd/rainbar-xfer
+go build -o /dev/null ./cmd/rainbar-send
+go build -o /dev/null ./cmd/rainbar-recv
+go build -o /dev/null ./cmd/rainbar-debug
+go build -o /dev/null ./cmd/rainbar-lint
 go vet ./...
 go run ./cmd/rainbar-lint ./...
 go test ./...
 go test -race ./...
+go run ./cmd/rainbar-bench -exp fig10a -frames 1 -metrics - >/dev/null
 
 if [ "${CI_FUZZ:-1}" != "0" ]; then
 	go test -fuzz=FuzzHeaderDecode -fuzztime=10s ./internal/core/header
