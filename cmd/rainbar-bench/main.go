@@ -8,9 +8,9 @@
 //
 //	rainbar-bench [-exp all|fig10a|fig10b|fig10c|fig10d|fig11|fig11c|
 //	               table1|fig12a|fig12b|capacity|localization|decode-time|
-//	               text-transfer|hsv-vs-rgb|sync-ablation|faults]
+//	               text-transfer|hsv-vs-rgb|sync-ablation|faults|recovery]
 //	              [-frames N] [-seed N] [-workers N] [-full]
-//	              [-faults spec]
+//	              [-faults spec] [-recovery off|erasures|ladder|combine]
 //	              [-metrics file|-] [-metrics-table] [-pprof addr]
 //
 // Sweeps fan out across -workers goroutines (default: one per CPU); the
@@ -38,6 +38,7 @@ import (
 
 	"rainbar/internal/experiment"
 	"rainbar/internal/obs"
+	"rainbar/internal/transport"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "sweep-point workers (0 = one per CPU, 1 = serial)")
 		full      = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
 		fspec     = flag.String("faults", "", "extra fault-sweep condition, e.g. 'drop=0.2,occlude=0.1' (see internal/faults)")
+		recovery  = flag.String("recovery", "off", "decode-recovery mode for transfer sweeps: off, erasures, ladder or combine (the recovery ablation always runs all four)")
 		metrics   = flag.String("metrics", "", "write pipeline metrics to this file after the run ('-' = stdout, *.json = JSON exposition)")
 		metricsTb = flag.Bool("metrics-table", false, "print the collected metrics as a summary table (implies -metrics collection)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -72,6 +74,12 @@ func main() {
 	o.Seed = *seed
 	o.Workers = *workers
 	o.FaultSpec = *fspec
+	mode, err := transport.ParseRecoveryMode(*recovery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbar-bench:", err)
+		os.Exit(1)
+	}
+	o.Recovery = mode
 
 	var rec *obs.Memory
 	if *metrics != "" || *metricsTb {
@@ -141,6 +149,7 @@ func run(exp string, o experiment.Options, rec *obs.Memory) error {
 		{"loc-ablation", experiment.LocalizationAblation},
 		{"adaptive", experiment.AdaptiveBlockSize},
 		{"faults", experiment.FaultSweep},
+		{"recovery", experiment.RecoverySweep},
 	}
 
 	emitted := func(n int) {

@@ -10,6 +10,7 @@
 //	             [-width 640] [-height 360] [-block 12] [-rate 10]
 //	             [-distance 12] [-angle 0] [-brightness 1.0]
 //	             [-ambient indoor|outdoor|dark] [-seed 1]
+//	             [-recovery off|erasures|ladder|combine]
 //	             [-metrics file|-] [-pprof addr]
 //
 // -metrics instruments the whole pipeline (codec stages, channel, camera,
@@ -49,6 +50,7 @@ func main() {
 		brightness = flag.Float64("brightness", 1.0, "screen brightness 0..1")
 		ambient    = flag.String("ambient", "indoor", "lighting: indoor|outdoor|dark")
 		seed       = flag.Int64("seed", 1, "channel random seed")
+		recovery   = flag.String("recovery", "combine", "decode-recovery mode: off, erasures, ladder or combine (default: full ladder with cross-round combining)")
 		metrics    = flag.String("metrics", "", "write pipeline metrics to this file after the transfer ('-' = stdout, *.json = JSON exposition)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -60,15 +62,19 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*in, *out, *width, *height, *block, *rate, *distance, *angle, *brightness, *ambient, *seed, *metrics); err != nil {
+	if err := run(*in, *out, *width, *height, *block, *rate, *distance, *angle, *brightness, *ambient, *recovery, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "rainbar-xfer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, width, height, block int, rate, distance, angle, brightness float64, ambient string, seed int64, metrics string) error {
+func run(in, out string, width, height, block int, rate, distance, angle, brightness float64, ambient, recovery string, seed int64, metrics string) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	mode, err := transport.ParseRecoveryMode(recovery)
+	if err != nil {
+		return err
 	}
 	data, err := os.ReadFile(in)
 	if err != nil {
@@ -109,6 +115,7 @@ func run(in, out string, width, height, block int, rate, distance, angle, bright
 		DisplayRate: uint8(rate),
 		AppType:     uint8(transport.Classify(data)),
 	}
+	combine := mode.Configure(&coreCfg)
 	cam := camera.Default()
 	cam.Seed = seed
 	if rec != nil {
@@ -131,6 +138,7 @@ func run(in, out string, width, height, block int, rate, distance, angle, bright
 			DisplayRate: rate,
 		},
 		MaxRounds: 12,
+		Combine:   combine,
 	}
 	if rec != nil {
 		sess.Recorder = rec
@@ -143,6 +151,9 @@ func run(in, out string, width, height, block int, rate, distance, angle, bright
 		fmt.Printf("frames sent:   %d (%d rounds)\n", stats.FramesSent, stats.Rounds)
 		fmt.Printf("air time:      %v\n", stats.AirTime)
 		fmt.Printf("goodput:       %.0f bytes/s\n", stats.Goodput)
+		if stats.LadderAttempts > 0 {
+			fmt.Printf("recovery:      %d ladder attempts, %d combined decodes\n", stats.LadderAttempts, stats.CombinedDecodes)
+		}
 	}
 	if err != nil {
 		return err

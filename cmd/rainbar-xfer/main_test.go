@@ -15,7 +15,7 @@ func TestRunTransfersFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	metrics := filepath.Join(dir, "metrics.prom")
-	if err := run(in, out, 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1, metrics); err != nil {
+	if err := run(in, out, 640, 360, 12, 10, 12, 0, 1.0, "indoor", "combine", 1, metrics); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(out)
@@ -41,7 +41,7 @@ func TestRunTransfersFile(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 640, 360, 12, 10, 12, 0, 1.0, "indoor", 1, ""); err == nil {
+	if err := run("", "", 640, 360, 12, 10, 12, 0, 1.0, "indoor", "combine", 1, ""); err == nil {
 		t.Error("missing -in accepted")
 	}
 	dir := t.TempDir()
@@ -49,7 +49,18 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(in, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", 640, 360, 12, 10, 12, 0, 1.0, "underwater", 1, ""); err == nil {
+	if err := run(in, "", 640, 360, 12, 10, 12, 0, 1.0, "underwater", "combine", 1, ""); err == nil {
 		t.Error("unknown ambient accepted")
+	}
+}
+
+func TestRunRejectsUnknownRecoveryMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(in, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", 640, 360, 12, 10, 12, 0, 1.0, "indoor", "sideways", 1, ""); err == nil {
+		t.Error("unknown recovery mode accepted")
 	}
 }

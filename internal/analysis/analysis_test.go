@@ -112,6 +112,7 @@ func TestFixtures(t *testing.T) {
 		{"floateq", true},
 		{"poolput", true},
 		{"loopcapture", true},
+		{"ladder", true},
 		// The contract rules stay quiet when the package is outside the
 		// contract set, so only the directive check (RB-X1) fires here.
 		{"directive", false},

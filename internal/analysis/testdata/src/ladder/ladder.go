@@ -1,0 +1,41 @@
+// Package ladder is a determinism fixture modeled on the decode-recovery
+// ladder: hypothesis ordering and budget draws must be pure functions of
+// the capture and configuration, so wall-clock deadlines (RB-D1) and
+// global math/rand tie-breaking (RB-D2) are forbidden; a seeded local
+// generator and a fixed hypothesis table are the clean shape.
+package ladder
+
+import (
+	"math/rand"
+	"time"
+)
+
+var hypotheses = []string{"erasures", "mu-0.45", "mu-0.65", "rescan"}
+
+func deadlineBudget() bool {
+	// Budgets must count attempts, not wall time: the same capture would
+	// recover on a fast machine and fail on a loaded one.
+	start := time.Now()                         // want "time.Now in determinism-contract package"
+	return time.Since(start) < time.Millisecond // want "time.Since in determinism-contract package"
+}
+
+func shuffledLadder() string {
+	// Randomizing hypothesis order breaks trace reproducibility.
+	return hypotheses[rand.Intn(len(hypotheses))] // want "global math/rand.Intn"
+}
+
+// orderedLadder is the clean variant: fixed hypothesis order, attempt-count
+// budget, and any randomness from an explicitly seeded local generator.
+func orderedLadder(budget int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var attempts []string
+	for _, h := range hypotheses {
+		if budget <= 0 {
+			break
+		}
+		budget--
+		attempts = append(attempts, h)
+		_ = rng.Float64() // seeded draws are allowed
+	}
+	return attempts
+}

@@ -288,6 +288,96 @@ func (cl Classifier) ClassifyRGB(p RGB) Color {
 	}
 }
 
+// ClassifyRGBSoft classifies like ClassifyRGB and additionally reports a
+// [0,1] confidence: the sample's normalized margin from the decision
+// boundary that would first flip its class. Black confidence is the value
+// margin below T_v; white is the smaller of the value margin above T_v and
+// the saturation margin below T_sat; a chromatic color takes the smallest
+// of the value margin, the saturation margin above T_sat, and the hue
+// distance to the nearest sector boundary (60°/180°/300°) over the 60°
+// half-sector. The color return is pinned bit-identical to ClassifyRGB:
+// the decision uses the same arithmetic and branch order, and confidence
+// is computed only after the class is fixed.
+func (cl Classifier) ClassifyRGBSoft(p RGB) (Color, float64) {
+	tv := cl.TV
+	if tv == 0 {
+		tv = DefaultTV
+	}
+	r := float64(p.R) / 255
+	g := float64(p.G) / 255
+	b := float64(p.B) / 255
+	maxc := r
+	if g > maxc {
+		maxc = g
+	}
+	if b > maxc {
+		maxc = b
+	}
+	if maxc < tv { // V = maxc
+		return Black, clamp01((tv - maxc) / tv)
+	}
+	minc := r
+	if g < minc {
+		minc = g
+	}
+	if b < minc {
+		minc = b
+	}
+	delta := maxc - minc
+	vMargin := 1.0
+	if tv < 1 {
+		vMargin = (maxc - tv) / (1 - tv)
+	}
+	if maxc == 0 || delta/maxc < TSat {
+		sMargin := (TSat - delta/maxc) / TSat
+		if maxc == 0 {
+			sMargin = 1
+		}
+		return White, clamp01(min(vMargin, sMargin))
+	}
+	sMargin := (delta/maxc - TSat) / (1 - TSat)
+	var h float64
+	switch {
+	case maxc == r:
+		h = 60 * ((g - b) / delta)
+	case maxc == g:
+		h = 60 * ((b-r)/delta + 2)
+	default: // maxc == b
+		h = 60 * ((r-g)/delta + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	// Distance to the nearest sector boundary, over the 60° half-sector.
+	// Boundaries sit at 60/180/300; red's sector wraps through 0.
+	var hMargin float64
+	switch {
+	case h > 60 && h <= 180:
+		hMargin = min(h-60, 180-h) / 60
+		return Green, clamp01(min(vMargin, sMargin, hMargin))
+	case h > 180 && h <= 300:
+		hMargin = min(h-180, 300-h) / 60
+		return Blue, clamp01(min(vMargin, sMargin, hMargin))
+	default:
+		if h > 300 {
+			hMargin = min(h-300, 360-h+60) / 60
+		} else {
+			hMargin = min(h+60, 60-h) / 60
+		}
+		return Red, clamp01(min(vMargin, sMargin, hMargin))
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
 // EstimateTV computes the adaptive black/non-black threshold from a sample
 // of pixel values (Eq. 2): T_v = μ·V_b + (1-μ)·V_o, where V_b and V_o are
 // the mean values of the black and non-black pixel populations.
@@ -300,8 +390,21 @@ func (cl Classifier) ClassifyRGB(p RGB) Color {
 // means closer than 0.1) the capture has no usable structure and the
 // estimate falls back to DefaultTV.
 func EstimateTV(values []float64) float64 {
-	if len(values) == 0 {
+	vb, vo, ok := EstimateTVClusters(values)
+	if !ok {
 		return DefaultTV
+	}
+	return TVForMu(vb, vo, Mu)
+}
+
+// EstimateTVClusters runs the two-means split behind EstimateTV and returns
+// the black and non-black cluster means themselves, so callers can re-derive
+// T_v under alternative μ values (the decode-recovery μ-sweep) without
+// re-clustering. ok is false when the sample has no usable bimodality — the
+// same conditions under which EstimateTV falls back to DefaultTV.
+func EstimateTVClusters(values []float64) (vb, vo float64, ok bool) {
+	if len(values) == 0 {
+		return 0, 0, false
 	}
 	lo, hi := values[0], values[0]
 	for _, v := range values {
@@ -313,7 +416,7 @@ func EstimateTV(values []float64) float64 {
 		}
 	}
 	if hi-lo < 0.1 {
-		return DefaultTV
+		return 0, 0, false
 	}
 	// Two-means on a scalar: iterate threshold = midpoint of cluster means.
 	cb, co := lo, hi
@@ -340,9 +443,16 @@ func EstimateTV(values []float64) float64 {
 		cb, co = nb, no
 	}
 	if co-cb < 0.1 {
-		return DefaultTV
+		return 0, 0, false
 	}
-	return Mu*cb + (1-Mu)*co
+	return cb, co, true
+}
+
+// TVForMu evaluates Eq. 2 for an arbitrary μ against previously estimated
+// cluster means. TVForMu(vb, vo, Mu) is the exact expression EstimateTV
+// computes.
+func TVForMu(vb, vo, mu float64) float64 {
+	return mu*vb + (1-mu)*vo
 }
 
 // RGBClassifier is the naive fixed-threshold RGB classifier used as the

@@ -2,6 +2,7 @@ package colorspace
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -244,5 +245,74 @@ func TestClassifyRGBMatchesHSVPath(t *testing.T) {
 func TestPaintCoversAllColors(t *testing.T) {
 	if Paint(Color(200)) != RGBBlack {
 		t.Error("Paint of invalid color should be black")
+	}
+}
+
+func TestClassifyRGBSoftMatchesHard(t *testing.T) {
+	// The soft classifier's color must be bit-identical to ClassifyRGB on
+	// every input and threshold, and its confidence must stay in [0,1].
+	rng := rand.New(rand.NewSource(7))
+	for _, tv := range []float64{0, 0.1, DefaultTV, 0.5, 0.9} {
+		cl := Classifier{TV: tv}
+		for i := 0; i < 200000; i++ {
+			p := RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+			soft, conf := cl.ClassifyRGBSoft(p)
+			if hard := cl.ClassifyRGB(p); soft != hard {
+				t.Fatalf("TV=%v ClassifyRGBSoft(%v) = %v, ClassifyRGB = %v", tv, p, soft, hard)
+			}
+			if conf < 0 || conf > 1 {
+				t.Fatalf("TV=%v ClassifyRGBSoft(%v) confidence %v outside [0,1]", tv, p, conf)
+			}
+		}
+		for _, p := range []RGB{
+			{200, 0, 200}, {200, 200, 0}, {0, 200, 200},
+			{255, 255, 255}, {1, 1, 1}, {0, 0, 0},
+		} {
+			soft, conf := cl.ClassifyRGBSoft(p)
+			if hard := cl.ClassifyRGB(p); soft != hard {
+				t.Fatalf("TV=%v ClassifyRGBSoft(%v) = %v, ClassifyRGB = %v", tv, p, soft, hard)
+			}
+			if conf < 0 || conf > 1 {
+				t.Fatalf("TV=%v conf %v outside [0,1]", tv, conf)
+			}
+		}
+	}
+}
+
+func TestClassifyRGBSoftConfidenceOrdering(t *testing.T) {
+	// A sample near a decision boundary must score below one deep inside
+	// its class.
+	cl := Classifier{TV: 0.35}
+	_, deep := cl.ClassifyRGBSoft(RGB{255, 0, 0})      // pure red
+	_, shallow := cl.ClassifyRGBSoft(RGB{255, 200, 0}) // near the 60° edge
+	if deep <= shallow {
+		t.Fatalf("pure red confidence %v should exceed near-boundary %v", deep, shallow)
+	}
+	_, wb := cl.ClassifyRGBSoft(RGB{0, 0, 0}) // deep black
+	if wb != 1 {
+		t.Fatalf("pure black confidence = %v, want 1", wb)
+	}
+}
+
+func TestEstimateTVClustersMatchesEstimateTV(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(120)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		want := EstimateTV(values)
+		vb, vo, ok := EstimateTVClusters(values)
+		got := DefaultTV
+		if ok {
+			got = TVForMu(vb, vo, Mu)
+		}
+		if got != want {
+			t.Fatalf("trial %d: TVForMu(clusters) = %v, EstimateTV = %v", trial, got, want)
+		}
+	}
+	if _, _, ok := EstimateTVClusters(nil); ok {
+		t.Fatal("EstimateTVClusters(nil) should report no bimodality")
 	}
 }

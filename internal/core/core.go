@@ -49,6 +49,18 @@ type Config struct {
 	// previous one. Decoder-side only.
 	DisableLocationCorrection bool
 
+	// RecoveryBudget bounds the decode-recovery ladder: the maximum number
+	// of retry hypotheses (ranked erasures, μ-sweep, locator re-scan) spent
+	// per decode operation — per capture for grid-level hypotheses, per
+	// frame for payload-level ones. 0 disables the ladder entirely and
+	// reproduces the single-shot decoder bit for bit; DefaultRecoveryBudget
+	// is a sensible "on" value. Decoder-side only.
+	RecoveryBudget int
+	// RecoveryErasuresOnly restricts the ladder to the ranked-erasure
+	// hypothesis, disabling the μ-sweep and locator re-scan (the ablation's
+	// "erasures" mode). Meaningful only when RecoveryBudget > 0.
+	RecoveryErasuresOnly bool
+
 	// Recorder receives pipeline metrics (stage timings, classification
 	// tallies, RS correction load). Nil disables instrumentation at
 	// negligible cost. The codec never constructs clocks or recorders

@@ -33,6 +33,10 @@ type GridDecode struct {
 	// captured mid-transition (LCD blend) usually disagree and cannot be
 	// attributed to either frame.
 	BarOK []bool
+	// Conf holds the classification confidence of every data cell,
+	// aligned with Cells. Populated only when the decode-recovery ladder
+	// is enabled (Config.RecoveryBudget > 0); nil otherwise.
+	Conf []float64
 	// TV is the adaptive value threshold used (diagnostics).
 	TV float64
 	// LocatorMisses counts dead-reckoned code locators (diagnostics).
@@ -40,6 +44,9 @@ type GridDecode struct {
 	// Sharpness is the capture's focus metric, used by blur assessment to
 	// choose between duplicate captures of one frame.
 	Sharpness float64
+	// Recovery traces the grid-level recovery hypotheses run on this
+	// capture (locator re-scan, μ-sweep). Nil when the ladder never ran.
+	Recovery *RecoveryTrace
 }
 
 // RowOwner returns which logical frame owns grid row r: 0 for the header's
@@ -109,22 +116,109 @@ func (c *Codec) DecodeGridLoose(img *raster.Image) (*GridDecode, error) {
 }
 
 func (c *Codec) decodeGridOriented(img *raster.Image) (*GridDecode, error) {
+	gd, _, _, err := c.decodeGridFix(img, c.newLadder())
+	return gd, err
+}
+
+// decodeGridFix is decodeGridOriented exposing the geometric fix, so the
+// recovery ladder can re-extract cells under alternative thresholds. Two
+// grid-level hypotheses run against the caller's ladder: a global locator
+// re-scan when progressive prediction loses the middle column, and a
+// proactive μ-sweep when the extraction classifies more data cells black
+// than the erasure budget could ever absorb (a mis-estimated T_v is then
+// the prime suspect).
+func (c *Codec) decodeGridFix(img *raster.Image, lad *ladder) (*GridDecode, *detection, *locatorMap, error) {
 	endDetect := c.rec.Span(obsSpanDetect)
 	det, err := c.detect(img)
 	endDetect()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	endLocate := c.rec.Span(obsSpanLocate)
 	lm, err := c.locateAll(img, det)
 	endLocate()
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, ErrLocatorLost) || c.cfg.RecoveryErasuresOnly || !lad.tryAttempt(HypRescan) {
+			return nil, nil, nil, err
+		}
+		lm, err = c.locateAllMode(img, det, true)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lad.win(HypRescan)
 	}
 	endExtract := c.rec.Span(obsSpanExtract)
 	gd, err := c.extractGrid(img, det, lm)
 	endExtract()
-	return gd, err
+	if err != nil {
+		return gd, det, lm, err
+	}
+	if c.cfg.RecoveryBudget > 0 && det.tvOK && !c.cfg.RecoveryErasuresOnly && c.erasureOverflow(gd.Cells) {
+		bestBad := nonDataCells(gd.Cells)
+		for _, cand := range recoveryMus {
+			if bestBad == 0 || !lad.tryAttempt(cand.hyp) {
+				break
+			}
+			det2 := *det
+			det2.tv = colorspace.TVForMu(det.vb, det.vo, cand.mu)
+			gd2, err2 := c.extractGrid(img, &det2, lm)
+			if err2 != nil {
+				continue
+			}
+			// Adopt only a strictly less suspect reading.
+			if bad := nonDataCells(gd2.Cells); bad < bestBad {
+				gd, bestBad = gd2, bad
+				lad.win(cand.hyp)
+			}
+		}
+	}
+	gd.Recovery = lad.result()
+	return gd, det, lm, nil
+}
+
+// nonDataCells counts cells that classified to a non-data color (black):
+// each is a guaranteed misread, so the count measures how suspect a grid
+// reading is.
+func nonDataCells(cells []colorspace.Color) int {
+	n := 0
+	for _, col := range cells {
+		if !col.IsData() {
+			n++
+		}
+	}
+	return n
+}
+
+// erasureOverflow reports whether any single RS message carries more
+// black-suspect bytes than the erasure budget accepts — the condition
+// under which the legacy policy dropped every erasure and decode becomes
+// a coin flip.
+func (c *Codec) erasureOverflow(cells []colorspace.Color) bool {
+	capE := c.cfg.RSParity - 2
+	off := 0
+	for _, k := range c.msgSizes {
+		n := k + c.cfg.RSParity
+		count := 0
+		last := -1
+		lo, hi := off*4, (off+n)*4
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		for i := lo; i < hi; i++ {
+			if cells[i].IsData() {
+				continue
+			}
+			if b := i / 4; b != last {
+				count++
+				last = b
+			}
+		}
+		if count > capE {
+			return true
+		}
+		off += n
+	}
+	return false
 }
 
 // extractGrid is the sampling/classification back half of the grid decode:
@@ -156,8 +250,19 @@ func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (
 		LocatorMisses: lm.misses,
 		Sharpness:     img.Sharpness(),
 	}
-	for i, cell := range g.DataCells() {
-		gd.Cells[i] = sample(cell.Row, cell.Col)
+	if c.cfg.RecoveryBudget > 0 {
+		// Soft extraction: same colors (ClassifyRGBSoft's class is pinned
+		// bit-identical to ClassifyRGB) plus the per-cell confidence the
+		// recovery ladder ranks erasures by.
+		gd.Conf = make([]float64, len(g.DataCells()))
+		for i, cell := range g.DataCells() {
+			p := c.cellCenter(lm, cell.Row, cell.Col)
+			gd.Cells[i], gd.Conf[i] = cl.ClassifyRGBSoft(img.MeanFilterAt(int(p.X+0.5), int(p.Y+0.5)))
+		}
+	} else {
+		for i, cell := range g.DataCells() {
+			gd.Cells[i] = sample(cell.Row, cell.Col)
+		}
 	}
 
 	if c.obsOn {
@@ -177,6 +282,13 @@ func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (
 			if n > 0 {
 				c.rec.Inc(obsCellSeries[col], n)
 			}
+		}
+		if len(gd.Conf) > 0 {
+			var sum float64
+			for _, v := range gd.Conf {
+				sum += v
+			}
+			c.rec.Observe(obs.MCoreCellConfidence, 100*sum/float64(len(gd.Conf)))
 		}
 	}
 
@@ -226,12 +338,22 @@ func (c *Codec) LocateCenters(img *raster.Image) ([]geometry.Point, error) {
 // the parity budget of an unknown error, so flagging them doubles the
 // correction power exactly where the capture was weakest.
 func (c *Codec) AssemblePayload(cells []colorspace.Color, hdr header.Header) ([]byte, error) {
+	stream, suspect, err := c.packStream(cells)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodePayload(stream, suspect, hdr.FrameChecksum)
+}
+
+// packStream packs data-cell colors into the frame's data-area byte
+// stream, marking bytes touched by a black (non-data) cell as suspect.
+func (c *Codec) packStream(cells []colorspace.Color) (stream []byte, suspect []bool, err error) {
 	g := c.cfg.Geometry
 	if len(cells) != len(g.DataCells()) {
-		return nil, fmt.Errorf("core: %d cells, want %d", len(cells), len(g.DataCells()))
+		return nil, nil, fmt.Errorf("core: %d cells, want %d", len(cells), len(g.DataCells()))
 	}
-	stream := make([]byte, g.DataCapacityBytes())
-	suspect := make([]bool, len(stream))
+	stream = make([]byte, g.DataCapacityBytes())
+	suspect = make([]bool, len(stream))
 	for i, col := range cells {
 		if i/4 >= len(stream) {
 			break
@@ -244,19 +366,66 @@ func (c *Codec) AssemblePayload(cells []colorspace.Color, hdr header.Header) ([]
 		}
 		stream[i/4] |= bits << uint(6-2*(i%4))
 	}
-	return c.decodePayload(stream, suspect, hdr.FrameChecksum)
+	return stream, suspect, nil
 }
 
 // DecodeFrame decodes a single clean (unmixed) capture end to end. For
-// captures that may mix two frames, use a Receiver instead.
+// captures that may mix two frames, use a Receiver instead. When the
+// decode-recovery ladder is enabled (Config.RecoveryBudget > 0) failed
+// decodes retry under the ladder's hypotheses; DecodeFrameRecover
+// additionally reports the hypothesis trace.
 func (c *Codec) DecodeFrame(img *raster.Image) (header.Header, []byte, error) {
-	gd, err := c.DecodeGrid(img)
-	if err != nil {
-		return header.Header{}, nil, err
+	hdr, payload, _, err := c.DecodeFrameRecover(img)
+	return hdr, payload, err
+}
+
+// DecodeFrameRecover is DecodeFrame with the full decode-recovery ladder
+// and its trace. One budget (Config.RecoveryBudget) covers the whole
+// operation, spent in ladder order: locator re-scan (during the grid
+// decode), ranked erasures, then the μ-sweep — each alternative threshold
+// re-extracts the grid and re-runs assembly. With RecoveryBudget 0 every
+// hypothesis is refused, the trace is nil, and behavior is bit-identical
+// to the single-shot decoder.
+func (c *Codec) DecodeFrameRecover(img *raster.Image) (header.Header, []byte, *RecoveryTrace, error) {
+	c.rec.Inc(obs.MCoreCaptures, 1)
+	lad := c.newLadder()
+	gd, det, lm, err := c.decodeGridFix(img, lad)
+	if err != nil && errors.Is(err, ErrNoCornerTrackers) {
+		rot := img.Rotate180()
+		if gd2, det2, lm2, err2 := c.decodeGridFix(rot, lad); err2 == nil {
+			gd, det, lm, err = gd2, det2, lm2, nil
+			img = rot
+		}
 	}
-	payload, err := c.AssemblePayload(gd.Cells, gd.Header)
 	if err != nil {
-		return gd.Header, nil, err
+		return header.Header{}, nil, lad.result(), err
 	}
-	return gd.Header, payload, nil
+	if !gd.HeaderOK {
+		return header.Header{}, nil, lad.result(), fmt.Errorf("core: header unreadable: %w", header.ErrCorrupt)
+	}
+	payload, err := c.assembleWithLadder(gd.Cells, gd.Conf, gd.Header, lad)
+	if err == nil {
+		return gd.Header, payload, lad.result(), nil
+	}
+	// Failure-driven μ-sweep: re-extract under the alternative thresholds
+	// and retry assembly. The header stays the base pass's — it already
+	// passed its CRCs there.
+	if det.tvOK && !c.cfg.RecoveryErasuresOnly {
+		for _, cand := range recoveryMus {
+			if !lad.tryAttempt(cand.hyp) {
+				break
+			}
+			det2 := *det
+			det2.tv = colorspace.TVForMu(det.vb, det.vo, cand.mu)
+			gd2, err2 := c.extractGrid(img, &det2, lm)
+			if err2 != nil {
+				continue
+			}
+			if payload2, e := c.assembleWithLadder(gd2.Cells, gd2.Conf, gd.Header, lad); e == nil {
+				lad.win(cand.hyp)
+				return gd.Header, payload2, lad.result(), nil
+			}
+		}
+	}
+	return gd.Header, nil, lad.result(), err
 }

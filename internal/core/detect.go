@@ -17,6 +17,13 @@ type detection struct {
 	ctRight geometry.Point
 	bst     float64 // estimated block side in capture pixels
 	tv      float64 // adaptive value threshold (Eq. 2)
+
+	// vb, vo are the black / non-black cluster means behind tv, kept so
+	// the recovery ladder's μ-sweep can re-derive T_v under alternative μ
+	// without re-clustering; tvOK is false when the estimate fell back to
+	// DefaultTV (no bimodality — nothing for the sweep to re-weigh).
+	vb, vo float64
+	tvOK   bool
 }
 
 // tvSamplesPerRegion is N in §III-F: pixels sampled per screen quadrant
@@ -26,7 +33,7 @@ const tvSamplesPerRegion = 64
 // estimateTV implements the paper's brightness assessment: divide the
 // capture into four regions, sample N pixels per region, and combine the
 // black and non-black mean values with μ (Eq. 2).
-func estimateTV(img *raster.Image) float64 {
+func estimateTV(img *raster.Image) (tv, vb, vo float64, ok bool) {
 	values := make([]float64, 0, 4*tvSamplesPerRegion)
 	halfW, halfH := img.W/2, img.H/2
 	regions := [4][2]int{{0, 0}, {halfW, 0}, {0, halfH}, {halfW, halfH}}
@@ -41,7 +48,11 @@ func estimateTV(img *raster.Image) float64 {
 			}
 		}
 	}
-	return colorspace.EstimateTV(values)
+	vb, vo, ok = colorspace.EstimateTVClusters(values)
+	if !ok {
+		return colorspace.DefaultTV, 0, 0, false
+	}
+	return colorspace.TVForMu(vb, vo, colorspace.Mu), vb, vo, true
 }
 
 // detectDownsample is the stride used for the classification map in
@@ -53,7 +64,7 @@ const detectDownsample = 2
 // capture. It returns ErrNoCornerTrackers when either tracker is missing
 // or their mutual position is implausible.
 func (c *Codec) detect(img *raster.Image) (*detection, error) {
-	tv := estimateTV(img)
+	tv, vb, vo, tvOK := estimateTV(img)
 	cl := colorspace.NewClassifier(tv)
 
 	if img.W < 8 || img.H < 8 {
@@ -75,7 +86,7 @@ func (c *Codec) detect(img *raster.Image) (*detection, error) {
 	if bst < 2 {
 		return nil, fmt.Errorf("%w: implausible block size %.2f px", ErrNoCornerTrackers, bst)
 	}
-	return &detection{ctLeft: left, ctRight: right, bst: bst, tv: tv}, nil
+	return &detection{ctLeft: left, ctRight: right, bst: bst, tv: tv, vb: vb, vo: vo, tvOK: tvOK}, nil
 }
 
 // findTrackers locates both corner trackers. It enumerates black blobs on

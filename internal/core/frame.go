@@ -163,6 +163,11 @@ func (c *Codec) EncodeAll(data []byte, startSeq uint16) ([]*Frame, error) {
 	return frames, nil
 }
 
+// planFunc enumerates, in priority order, the erasure sets to try for the
+// RS message occupying stream[off:off+n]. Plans run until one decodes; a
+// nil plan means errors-only decoding.
+type planFunc func(off, n int) [][]int
+
 // decodePayload reverses encodeStream: split the data-area stream into RS
 // messages, correct each, and verify the header's frame checksum. suspect
 // marks stream bytes containing black-misread cells; they are passed to
@@ -170,6 +175,36 @@ func (c *Codec) EncodeAll(data []byte, startSeq uint16) ([]*Frame, error) {
 // budget would guarantee failure, so a message with too many falls back
 // to errors-only decoding).
 func (c *Codec) decodePayload(stream []byte, suspect []bool, want uint16) ([]byte, error) {
+	return c.decodeWithPlans(stream, want, c.legacyPlans(suspect))
+}
+
+// legacyPlans is the single-shot erasure policy: guess every black-suspect
+// byte when the per-message count fits the parity budget (then retry
+// blind), and decode errors-only when there are none or too many. The
+// recovery ladder's rankedPlans subsumes this all-or-nothing drop.
+func (c *Codec) legacyPlans(suspect []bool) planFunc {
+	return func(off, n int) [][]int {
+		if suspect == nil {
+			return [][]int{nil}
+		}
+		var erasures []int
+		for j := 0; j < n; j++ {
+			if suspect[off+j] {
+				erasures = append(erasures, j)
+			}
+		}
+		if len(erasures) == 0 || len(erasures) > c.cfg.RSParity-2 {
+			return [][]int{nil}
+		}
+		// The erasure guesses may themselves be wrong; retry blind.
+		return [][]int{erasures, nil}
+	}
+}
+
+// decodeWithPlans is the shared RS decode cascade: for each message, try
+// the erasure plans in order until one decodes, then verify the frame
+// checksum over the assembled payload.
+func (c *Codec) decodeWithPlans(stream []byte, want uint16, plans planFunc) ([]byte, error) {
 	endCorrect := c.rec.Span(obsSpanCorrect)
 	var corrected, erased int64
 	defer func() {
@@ -186,29 +221,20 @@ func (c *Codec) decodePayload(stream []byte, suspect []bool, want uint16) ([]byt
 	off := 0
 	for _, k := range c.msgSizes {
 		n := k + c.cfg.RSParity
-		var erasures []int
-		if suspect != nil {
-			for j := 0; j < n; j++ {
-				if suspect[off+j] {
-					erasures = append(erasures, j)
-				}
+		var data []byte
+		var err error
+		for _, plan := range plans(off, n) {
+			var fixed int
+			data, fixed, err = c.rsc.DecodeCounted(stream[off:off+n], plan)
+			if err == nil {
+				corrected += int64(fixed)
+				erased += int64(len(plan))
+				break
 			}
-			if len(erasures) > c.cfg.RSParity-2 {
-				erasures = nil
-			}
-		}
-		data, fixed, err := c.rsc.DecodeCounted(stream[off:off+n], erasures)
-		used := len(erasures)
-		if err != nil && erasures != nil {
-			// The erasure guesses may themselves be wrong; retry blind.
-			data, fixed, err = c.rsc.DecodeCounted(stream[off:off+n], nil)
-			used = 0
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
-		corrected += int64(fixed)
-		erased += int64(used)
 		payload = append(payload, data...)
 		off += n
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"rainbar/internal/colorspace"
@@ -132,6 +134,59 @@ func FuzzFrameDecode(f *testing.F) {
 		for _, df := range rx.Frames() {
 			if df.Err == nil && len(df.Payload) != codec.FrameCapacity() {
 				t.Fatalf("receiver produced %d payload bytes, capacity %d", len(df.Payload), codec.FrameCapacity())
+			}
+		}
+	})
+}
+
+// FuzzLadderDecode corrupts rendered frames and runs the decode-recovery
+// ladder, checking the ladder's contracts: it never panics, it is
+// deterministic (same image, same trace), it never hurts (anything the
+// plain decoder accepts, the ladder decodes identically), and whatever it
+// accepts still satisfies the frame invariants.
+func FuzzLadderDecode(f *testing.F) {
+	codec, base := fuzzCodec(f)
+	geo := codec.Geometry()
+	soft, err := NewCodec(Config{
+		Geometry:       geo,
+		DisplayRate:    10,
+		RecoveryBudget: DefaultRecoveryBudget,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{0, 10, 10, 40, 40, 255, 0, 0})                                // rectangle splat
+	f.Add(int64(3), []byte{1, 0, 128, 31, 0, 0, 0, 0})                                   // row splice
+	f.Add(int64(4), []byte{3, 0, 0, 200, 0, 0, 0, 0})                                    // heavy noise
+	f.Add(int64(5), []byte{0, 120, 8, 30, 10, 120, 120, 120, 2, 40, 60, 20, 0, 0, 0, 0}) // gray locator patch + dim band
+
+	f.Fuzz(func(t *testing.T, seed int64, prog []byte) {
+		img := base.Clone()
+		corruptProgram(img, prog, seed)
+
+		hdr1, pay1, tr1, err1 := soft.DecodeFrameRecover(img)
+		hdr2, pay2, tr2, err2 := soft.DecodeFrameRecover(img)
+		if (err1 == nil) != (err2 == nil) || hdr1 != hdr2 || !bytes.Equal(pay1, pay2) || !reflect.DeepEqual(tr1, tr2) {
+			t.Fatalf("ladder not deterministic: (%v, %+v) vs (%v, %+v)", err1, tr1, err2, tr2)
+		}
+
+		if hdr, pay, err := codec.DecodeFrame(img.Clone()); err == nil {
+			if err1 != nil {
+				t.Fatalf("ladder failed (%v) where plain decode succeeded", err1)
+			}
+			if hdr1 != hdr || !bytes.Equal(pay1, pay) {
+				t.Fatal("ladder changed the result of an already-successful decode")
+			}
+		}
+
+		if err1 == nil {
+			if hdr1.Validate() != nil {
+				t.Fatalf("ladder accepted invalid header %+v", hdr1)
+			}
+			if len(pay1) != soft.FrameCapacity() {
+				t.Fatalf("ladder returned %d payload bytes, capacity %d", len(pay1), soft.FrameCapacity())
 			}
 		}
 	})

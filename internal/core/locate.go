@@ -26,6 +26,15 @@ type locatorMap struct {
 // centers (the CT center is the first code locator); the middle column's
 // first locator is searched around the midpoint of the two CT centers.
 func (c *Codec) locateAll(img *raster.Image, det *detection) (*locatorMap, error) {
+	return c.locateAllMode(img, det, false)
+}
+
+// locateAllMode is locateAll with the recovery ladder's rescue switch: in
+// rescue mode the first-middle search widens (double the walk span, a
+// taller vertical fan) and, when even that fails, the middle column is
+// synthesized COBRA-style from the outer-column midpoints — a degraded
+// but usable fix — instead of reporting ErrLocatorLost.
+func (c *Codec) locateAllMode(img *raster.Image, det *detection, rescue bool) (*locatorMap, error) {
 	cl := colorspace.NewClassifier(det.tv)
 	n := len(c.cfg.Geometry.LocatorRows())
 
@@ -33,23 +42,35 @@ func (c *Codec) locateAll(img *raster.Image, det *detection) (*locatorMap, error
 	lm.left, lm.leftOK = c.locateColumn(img, cl, det.ctLeft, det.bst, n)
 	lm.right, lm.rgOK = c.locateColumn(img, cl, det.ctRight, det.bst, n)
 
-	if c.cfg.DisableMiddleLocators {
-		// Ablation: synthesize the middle column as straight midpoints of
-		// the outer columns — exactly the information COBRA has.
+	synthMid := func(ok bool) {
 		lm.mid = make([]geometry.Point, n)
 		lm.midOK = make([]bool, n)
 		for i := 0; i < n; i++ {
 			lm.mid[i] = geometry.Mid(lm.left[i], lm.right[i])
-			lm.midOK[i] = true
+			lm.midOK[i] = ok
 		}
+	}
+	if c.cfg.DisableMiddleLocators {
+		// Ablation: synthesize the middle column as straight midpoints of
+		// the outer columns — exactly the information COBRA has.
+		synthMid(true)
 		return lm, nil
 	}
 
-	first, err := c.findFirstMiddle(img, cl, det)
-	if err != nil {
+	maxOff, dyFan := 0.15, 2
+	if rescue {
+		maxOff, dyFan = 0.30, 4
+	}
+	first, err := c.findFirstMiddle(img, cl, det, maxOff, dyFan)
+	switch {
+	case err == nil:
+		lm.mid, lm.midOK = c.locateColumn(img, cl, first, det.bst, n)
+	case rescue:
+		// Last resort: midpoint synthesis, every row counted as a miss.
+		synthMid(false)
+	default:
 		return nil, err
 	}
-	lm.mid, lm.midOK = c.locateColumn(img, cl, first, det.bst, n)
 
 	// Cross-column consistency: the three locators of one row are
 	// collinear on screen, so under any projective view mid[i] must lie
@@ -138,7 +159,9 @@ func (c *Codec) locateColumn(img *raster.Image, cl colorspace.Classifier, start 
 // therefore walks the CT line outward from the midpoint, validates each
 // black hit by its 4-direction extent, refines with location correction,
 // and accepts the first candidate whose refined center stays on the line.
-func (c *Codec) findFirstMiddle(img *raster.Image, cl colorspace.Classifier, det *detection) (geometry.Point, error) {
+// maxOff bounds the walk (fraction of the CT span each way) and dyFan the
+// vertical fan; the recovery rescan widens both.
+func (c *Codec) findFirstMiddle(img *raster.Image, cl colorspace.Classifier, det *detection, maxOff float64, dyFan int) (geometry.Point, error) {
 	p := geometry.Mid(det.ctLeft, det.ctRight)
 	// Blur erodes the classified black extent well below the true block
 	// size at long range, so the lower bound is permissive.
@@ -174,11 +197,10 @@ func (c *Codec) findFirstMiddle(img *raster.Image, cl colorspace.Classifier, det
 		return refined, true
 	}
 
-	// Walk the line outward: t = 0.5 ± k·step, up to 15% of the span each
-	// way (covers >30° of foreshortening), with a small vertical fan to
-	// survive line-estimate error and lens bow.
+	// Walk the line outward: t = 0.5 ± k·step, up to maxOff of the span
+	// each way (0.15 covers >30° of foreshortening), with a small vertical
+	// fan to survive line-estimate error and lens bow.
 	step := 1.0 / spanLen // one pixel along the line
-	maxOff := 0.15
 	for k := 0; float64(k)*step <= maxOff; k++ {
 		for _, sign := range [2]float64{1, -1} {
 			if k == 0 && sign < 0 {
@@ -186,7 +208,7 @@ func (c *Codec) findFirstMiddle(img *raster.Image, cl colorspace.Classifier, det
 			}
 			t := 0.5 + sign*float64(k)*step
 			base := geometry.Lerp(det.ctLeft, det.ctRight, t)
-			for dy := -2; dy <= 2; dy++ {
+			for dy := -dyFan; dy <= dyFan; dy++ {
 				cand := geometry.Point{X: base.X, Y: base.Y + float64(dy)}
 				x, y := int(cand.X+0.5), int(cand.Y+0.5)
 				if !img.In(x, y) || cl.ClassifyRGB(img.At(x, y)) != colorspace.Black {

@@ -22,6 +22,9 @@ var (
 		colorspace.Black: obs.With(obs.MCoreCellsClassified, "color", "black"),
 	}
 
+	obsLadderAttempts  = map[string]string{}
+	obsLadderSuccesses = map[string]string{}
+
 	obsFailureSeries = map[FailureClass]string{
 		FailDropped: obs.With(obs.MCoreDecodeFailures, "stage", string(FailDropped)),
 		FailDetect:  obs.With(obs.MCoreDecodeFailures, "stage", string(FailDetect)),
@@ -32,6 +35,22 @@ var (
 		FailOther:   obs.With(obs.MCoreDecodeFailures, "stage", string(FailOther)),
 	}
 )
+
+func init() {
+	for _, hyp := range [...]string{HypErasures, HypMuLow, HypMuHigh, HypRescan, HypCombine} {
+		obsLadderAttempts[hyp] = obs.With(obs.MCoreLadderAttempts, "hypothesis", hyp)
+		obsLadderSuccesses[hyp] = obs.With(obs.MCoreLadderSuccesses, "hypothesis", hyp)
+	}
+}
+
+// obsLadderSeries resolves the precomputed labeled series for a
+// hypothesis, falling back to on-the-fly labeling for unknown IDs.
+func obsLadderSeries(m map[string]string, base, hyp string) string {
+	if s, ok := m[hyp]; ok {
+		return s
+	}
+	return obs.With(base, "hypothesis", hyp)
+}
 
 // recordFailure counts one decode-path failure under its FailureClass.
 func (c *Codec) recordFailure(err error) {

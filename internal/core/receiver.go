@@ -33,6 +33,12 @@ type Receiver struct {
 	// was destroyed (e.g. blended by an LCD transition).
 	lastTop    uint16
 	lastTopSet bool
+
+	// Decode-recovery ladder activity folded across this receiver's
+	// captures and frames (populated only when the codec's RecoveryBudget
+	// is on); see RecoveryStats.
+	ladderAttempts int
+	ladderWins     map[string]int
 }
 
 // partialFrame accumulates rows of one logical frame across captures.
@@ -48,13 +54,22 @@ type partialFrame struct {
 	// (LCD-blend band, noise burst) is outvoted by the clean captures of
 	// the same rows instead of overwriting them.
 	cellVotes [][colorspace.NumDataColors]float64
+	// confVotes accumulates confidence-weighted votes in parallel with
+	// cellVotes, so the winner's mean classification confidence can be
+	// recovered (confVotes/cellVotes). Nil when the recovery ladder is
+	// off — the vote outcome itself never depends on it.
+	confVotes [][colorspace.NumDataColors]float64
 	rowFilled []bool
 }
 
-// vote records one observation of cell i.
-func (pf *partialFrame) vote(i int, c colorspace.Color, weight float64) {
+// vote records one observation of cell i with classification confidence
+// conf (ignored when soft voting is off).
+func (pf *partialFrame) vote(i int, c colorspace.Color, conf, weight float64) {
 	if c.IsData() {
 		pf.cellVotes[i][c] += weight
+		if pf.confVotes != nil {
+			pf.confVotes[i][c] += conf * weight
+		}
 	}
 }
 
@@ -73,6 +88,35 @@ func (pf *partialFrame) cellsByVote() []colorspace.Color {
 		out[i] = best
 	}
 	return out
+}
+
+// cellsByVoteSoft is cellsByVote plus a per-cell confidence: the winner's
+// mean classification confidence scaled by its vote share. The winning
+// color is decided exactly as in cellsByVote. The vote-share factor is
+// what catches confidently-wrong captures (e.g. splice replays, whose
+// cells classify cleanly): a cell contested between captures scores low
+// even when every individual classification was certain, so the ladder
+// erases contested cells first. Cells with no votes score 0.
+func (pf *partialFrame) cellsByVoteSoft() ([]colorspace.Color, []float64) {
+	out := make([]colorspace.Color, len(pf.cellVotes))
+	conf := make([]float64, len(pf.cellVotes))
+	for i := range pf.cellVotes {
+		best := colorspace.White
+		bestW, total := 0.0, 0.0
+		for c := 0; c < colorspace.NumDataColors; c++ {
+			w := pf.cellVotes[i][c]
+			total += w
+			if w > bestW {
+				bestW = w
+				best = colorspace.Color(c)
+			}
+		}
+		out[i] = best
+		if bestW > 0 && pf.confVotes != nil {
+			conf[i] = pf.confVotes[i][best] / bestW * (bestW / total)
+		}
+	}
+	return out, conf
 }
 
 func (pf *partialFrame) addHeaderVote(h header.Header) {
@@ -98,15 +142,59 @@ type DecodedFrame struct {
 	Header  header.Header
 	Payload []byte // nil if error correction failed
 	Err     error  // non-nil when Payload is nil
+
+	// Cells and Conf hold the frame's voted per-cell symbols and mean
+	// confidences when decoding failed and the recovery ladder is on —
+	// the soft table a transport fuses with a retransmission's captures
+	// (cross-round combining). Nil on success or when recovery is off.
+	Cells []colorspace.Color
+	Conf  []float64
 }
 
 // NewReceiver creates a receiver for the codec's format.
 func NewReceiver(c *Codec) *Receiver {
 	return &Receiver{
-		codec:   c,
-		partial: make(map[uint16]*partialFrame),
-		done:    make(map[uint16]*DecodedFrame),
+		codec:      c,
+		partial:    make(map[uint16]*partialFrame),
+		done:       make(map[uint16]*DecodedFrame),
+		ladderWins: make(map[string]int),
 	}
+}
+
+// noteTrace folds one recovery trace into the receiver's ladder stats.
+func (rx *Receiver) noteTrace(t *RecoveryTrace) {
+	if t == nil {
+		return
+	}
+	rx.ladderAttempts += len(t.Attempts)
+	if t.Winner != "" {
+		rx.ladderWins[t.Winner]++
+	}
+}
+
+// RecoveryStats reports the decode-recovery ladder's activity across
+// everything this receiver ingested: total hypotheses attempted and
+// successes per hypothesis ID. The map is a copy. All zero when the
+// codec's RecoveryBudget is 0.
+func (rx *Receiver) RecoveryStats() (attempts int, successesByHypothesis map[string]int) {
+	out := make(map[string]int, len(rx.ladderWins))
+	for k, v := range rx.ladderWins {
+		out[k] = v
+	}
+	return rx.ladderAttempts, out
+}
+
+// assemble runs payload assembly for a partial frame, through the
+// recovery ladder when it is enabled.
+func (rx *Receiver) assemble(pf *partialFrame, hdr header.Header) ([]byte, []colorspace.Color, []float64, error) {
+	if rx.codec.cfg.RecoveryBudget > 0 {
+		cells, conf := pf.cellsByVoteSoft()
+		payload, trace, err := rx.codec.AssemblePayloadSoft(cells, conf, hdr)
+		rx.noteTrace(trace)
+		return payload, cells, conf, err
+	}
+	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+	return payload, nil, nil, err
 }
 
 // Ingest processes one captured image. Captures whose corner trackers
@@ -125,6 +213,7 @@ func (rx *Receiver) ingest(img *raster.Image) error {
 	if err != nil {
 		return err
 	}
+	rx.noteTrace(gd.Recovery)
 	if rx.DisableSync {
 		if !gd.HeaderOK {
 			return fmt.Errorf("core: header unreadable: %w", header.ErrCorrupt)
@@ -228,8 +317,12 @@ func (rx *Receiver) ingest(img *raster.Image) error {
 		if owner == 1 {
 			seq = seqBot
 		}
+		cf := 0.0
+		if gd.Conf != nil {
+			cf = gd.Conf[i]
+		}
 		pf := rx.getPartial(seq)
-		pf.vote(i, gd.Cells[i], gd.Sharpness*weight[cell.Row])
+		pf.vote(i, gd.Cells[i], cf, gd.Sharpness*weight[cell.Row])
 		if weight[cell.Row] == 1 {
 			pf.rowFilled[cell.Row] = true
 		}
@@ -302,7 +395,11 @@ func (rx *Receiver) ingestWholeFrame(gd *GridDecode) {
 	pf := rx.getPartial(seq)
 	pf.hdrVotes[gd.Header]++
 	for i := range gd.Cells {
-		pf.vote(i, gd.Cells[i], gd.Sharpness)
+		cf := 0.0
+		if gd.Conf != nil {
+			cf = gd.Conf[i]
+		}
+		pf.vote(i, gd.Cells[i], cf, gd.Sharpness)
 	}
 	for r := range pf.rowFilled {
 		pf.rowFilled[r] = true
@@ -310,7 +407,7 @@ func (rx *Receiver) ingestWholeFrame(gd *GridDecode) {
 	// Without sync there is no notion of "complete": decode immediately,
 	// and let later captures keep voting if this attempt fails.
 	hdr, _ := pf.header()
-	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+	payload, _, _, err := rx.assemble(pf, hdr)
 	if err == nil {
 		rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
 		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
@@ -327,6 +424,9 @@ func (rx *Receiver) getPartial(seq uint16) *partialFrame {
 		hdrVotes:  make(map[header.Header]int),
 		cellVotes: make([][colorspace.NumDataColors]float64, len(g.DataCells())),
 		rowFilled: make([]bool, g.Rows()),
+	}
+	if rx.codec.cfg.RecoveryBudget > 0 {
+		pf.confVotes = make([][colorspace.NumDataColors]float64, len(g.DataCells()))
 	}
 	rx.partial[seq] = pf
 	return pf
@@ -353,7 +453,7 @@ func (rx *Receiver) tryComplete(seq uint16) {
 			return
 		}
 	}
-	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+	payload, _, _, err := rx.assemble(pf, hdr)
 	if err != nil {
 		return
 	}
@@ -374,13 +474,19 @@ func (rx *Receiver) Flush() {
 		if _, ok := rx.done[seq]; ok {
 			continue
 		}
-		payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+		payload, cells, conf, err := rx.assemble(pf, hdr)
 		if err == nil {
 			rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
 		} else {
 			rx.codec.recordFailure(err)
 		}
-		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload, Err: err}
+		df := &DecodedFrame{Header: hdr, Payload: payload, Err: err}
+		if err != nil {
+			// Keep the soft table: the transport can fuse it with the
+			// retransmission round's captures (cross-round combining).
+			df.Cells, df.Conf = cells, conf
+		}
+		rx.done[seq] = df
 		delete(rx.partial, seq)
 	}
 }

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core/layout"
+)
+
+// recoverCodec builds the standard test codec with the decode-recovery
+// ladder enabled at the default budget.
+func recoverCodec(t testing.TB) *Codec {
+	t.Helper()
+	c, err := NewCodec(Config{
+		Geometry:       testGeometry(t),
+		DisplayRate:    10,
+		AppType:        1,
+		RecoveryBudget: DefaultRecoveryBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// wrongColor returns a plausible-but-wrong data color: the decoder gets no
+// black-cell hint, so the legacy all-or-nothing erasure guess has nothing
+// to work with.
+func wrongColor(c colorspace.Color) colorspace.Color {
+	return colorspace.Color((uint8(c) + 1) % colorspace.NumDataColors)
+}
+
+func TestRankedErasuresBeatAllOrNothing(t *testing.T) {
+	// 10 corrupted bytes in one message exceed plain RS correction (8 with
+	// 16 parity) and carry no black-cell hint, so both the base pass and
+	// the legacy suspect-byte guess fail. Per-cell confidence flags exactly
+	// those cells, so the ranked-erasure hypothesis erases the right bytes
+	// and decodes.
+	c := recoverCodec(t)
+	want := payloadFor(c, 11)
+	f, err := c.EncodeFrame(want, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := truthCells(c, f)
+	conf := make([]float64, len(cells))
+	for i := range conf {
+		conf[i] = 1
+	}
+	const corruptCells = 40 // 10 bytes
+	for i := 0; i < corruptCells; i++ {
+		cells[i] = wrongColor(cells[i])
+		conf[i] = 0.05
+	}
+
+	if _, err := c.AssemblePayload(cells, f.Header()); err == nil {
+		t.Fatal("10 unknown byte errors decoded without recovery (capability is 8)")
+	}
+	got, trace, err := c.AssemblePayloadSoft(cells, conf, f.Header())
+	if err != nil {
+		t.Fatalf("ranked-erasure recovery failed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered payload differs from original")
+	}
+	if trace == nil || trace.Winner != HypErasures {
+		t.Fatalf("trace = %+v, want winner %q", trace, HypErasures)
+	}
+}
+
+func TestSoftAssembleBudgetZeroBitIdentical(t *testing.T) {
+	// With RecoveryBudget 0 the soft path must refuse every hypothesis:
+	// same error as the hard path, nil trace.
+	c := testCodec(t)
+	f, err := c.EncodeFrame(payloadFor(c, 12), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := truthCells(c, f)
+	conf := make([]float64, len(cells))
+	for i := 0; i < 40; i++ {
+		cells[i] = wrongColor(cells[i])
+	}
+
+	_, hardErr := c.AssemblePayload(cells, f.Header())
+	if hardErr == nil {
+		t.Fatal("corrupted frame decoded on the hard path")
+	}
+	got, trace, softErr := c.AssemblePayloadSoft(cells, conf, f.Header())
+	if got != nil || trace != nil {
+		t.Fatalf("budget 0 produced payload=%v trace=%+v, want nil/nil", got != nil, trace)
+	}
+	if softErr == nil || softErr.Error() != hardErr.Error() {
+		t.Fatalf("budget 0 soft error %v, want hard-path error %v", softErr, hardErr)
+	}
+}
+
+func TestFuseCellsComplementaryCaptures(t *testing.T) {
+	// Two captures of the same frame, each with more corruption than the
+	// erasure budget can absorb (16 bytes > parity-2 = 14) but weak in
+	// disjoint cell ranges. Neither decodes alone; the max-confidence
+	// fusion takes each capture's confident half and decodes.
+	c := recoverCodec(t)
+	want := payloadFor(c, 13)
+	f, err := c.EncodeFrame(want, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthCells(c, f)
+
+	corrupt := func(lo, hi int) ([]colorspace.Color, []float64) {
+		cells := append([]colorspace.Color(nil), truth...)
+		conf := make([]float64, len(cells))
+		for i := range conf {
+			conf[i] = 1
+		}
+		for i := lo; i < hi; i++ {
+			cells[i] = wrongColor(cells[i])
+			conf[i] = 0
+		}
+		return cells, conf
+	}
+	cellsA, confA := corrupt(0, 64)   // bytes 0..15 wrong
+	cellsB, confB := corrupt(64, 128) // bytes 16..31 wrong
+
+	if _, _, err := c.AssemblePayloadSoft(cellsA, confA, f.Header()); err == nil {
+		t.Fatal("capture A decoded alone (16 corrupt bytes should exceed the erasure cap)")
+	}
+	if _, _, err := c.AssemblePayloadSoft(cellsB, confB, f.Header()); err == nil {
+		t.Fatal("capture B decoded alone")
+	}
+	cells, conf := FuseCells(cellsA, confA, cellsB, confB)
+	got, _, err := c.AssemblePayloadSoft(cells, conf, f.Header())
+	if err != nil {
+		t.Fatalf("fused decode failed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fused payload differs from original")
+	}
+}
+
+func TestLadderDeterminism(t *testing.T) {
+	// The ladder must be a pure function of the capture bytes: decoding the
+	// same damaged image twice yields identical payload, error and
+	// hypothesis trace.
+	geo, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(Config{Geometry: geo, DisplayRate: 10, RecoveryBudget: DefaultRecoveryBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := payloadFor(c, 14)
+	f, err := c.EncodeFrame(payload, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.Render()
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < 6; k++ {
+		x, y := rng.Intn(base.W-40), 30+rng.Intn(base.H-70)
+		base.FillRect(x, y, 20+rng.Intn(40), 8+rng.Intn(16), colorspace.RGB{
+			R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256)),
+		})
+	}
+
+	hdr1, pay1, tr1, err1 := c.DecodeFrameRecover(base)
+	hdr2, pay2, tr2, err2 := c.DecodeFrameRecover(base)
+	if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+		t.Fatalf("errors differ across runs: %v vs %v", err1, err2)
+	}
+	if hdr1 != hdr2 || !bytes.Equal(pay1, pay2) {
+		t.Fatal("header/payload differ across runs")
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("traces differ across runs:\n%+v\n%+v", tr1, tr2)
+	}
+}
+
+func TestRescanRecoversLostLocator(t *testing.T) {
+	// Occlude the first-middle locator region: progressive localization
+	// reports ErrLocatorLost with recovery off, while the ladder's global
+	// re-scan (widened search, COBRA-style synthesis) re-establishes the
+	// fix and the frame decodes.
+	geo, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := NewCodec(Config{Geometry: geo, DisplayRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := NewCodec(Config{Geometry: geo, DisplayRate: 10, RecoveryBudget: DefaultRecoveryBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := payloadFor(hard, 15)
+	f, err := hard.EncodeFrame(payload, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := f.Render()
+	// Gray out the first middle locator's band (grid row 2, block size 10
+	// → y 20..30) around the center column: the header row above and the
+	// corner trackers stay intact, but progressive localization cannot
+	// establish the middle column.
+	img.FillRect(img.W/2-40, 20, 80, 10, colorspace.RGB{R: 120, G: 120, B: 120})
+
+	if _, _, err := hard.DecodeFrame(img.Clone()); !errors.Is(err, ErrLocatorLost) {
+		t.Fatalf("recovery-off decode error = %v, want ErrLocatorLost", err)
+	}
+	_, got, trace, err := soft.DecodeFrameRecover(img)
+	if err != nil {
+		t.Fatalf("rescan recovery failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rescan-recovered payload differs from original")
+	}
+	attempted := false
+	if trace != nil {
+		for _, h := range trace.Attempts {
+			if h == HypRescan {
+				attempted = true
+			}
+		}
+	}
+	if !attempted {
+		t.Fatalf("trace %+v does not record a rescan attempt", trace)
+	}
+}

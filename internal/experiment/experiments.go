@@ -34,6 +34,11 @@ type Options struct {
 	// FaultSpec, when non-empty, adds a custom condition to the fault sweep
 	// (faults.ParseSpec syntax, e.g. "drop=0.2,occlude=0.1").
 	FaultSpec string
+	// Recovery selects the decode-recovery mode for the transfer-based
+	// sweeps (fault sweep, text transfer). The zero value (off) keeps every
+	// table byte-identical to a ladder-free build; the recovery ablation
+	// sweep ignores it and runs all four modes.
+	Recovery transport.RecoveryMode
 	// Recorder, when set, receives pipeline and worker-pool metrics from
 	// every sweep point. Tables are bit-identical with or without it.
 	Recorder obs.Recorder
@@ -676,7 +681,9 @@ func TextTransfer(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText), Recorder: o.Recorder})
+		ccfg := core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText), Recorder: o.Recorder}
+		combine := o.Recovery.Configure(&ccfg)
+		codec, err := core.NewCodec(ccfg)
 		if err != nil {
 			return err
 		}
@@ -691,6 +698,7 @@ func TextTransfer(o Options) (*Table, error) {
 			Codec:     codec,
 			Link:      link,
 			MaxRounds: 10,
+			Combine:   combine,
 			Recorder:  o.Recorder,
 		}
 		text := workload.Text(codec.FrameCapacity()*4, seedAt(o.Seed, i, 1))

@@ -65,7 +65,9 @@ func FaultSweep(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		codec, err := core.NewCodec(core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText), Recorder: o.Recorder})
+		ccfg := core.Config{Geometry: geo, DisplayRate: defaultRate, AppType: uint8(transport.AppText), Recorder: o.Recorder}
+		combine := o.Recovery.Configure(&ccfg)
+		codec, err := core.NewCodec(ccfg)
 		if err != nil {
 			return err
 		}
@@ -83,6 +85,7 @@ func FaultSweep(o Options) (*Table, error) {
 				DisplayRate: defaultRate,
 			},
 			MaxRounds: 12,
+			Combine:   combine,
 			Recorder:  o.Recorder,
 		}
 		text := workload.Text(codec.FrameCapacity()*4, seedAt(o.Seed, i, 1))

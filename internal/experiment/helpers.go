@@ -159,5 +159,8 @@ func All(o Options) ([]*Table, error) {
 	if err := add(FaultSweep(o)); err != nil {
 		return nil, err
 	}
+	if err := add(RecoverySweep(o)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

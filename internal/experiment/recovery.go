@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/faults"
+	"rainbar/internal/transport"
+	"rainbar/internal/workload"
+)
+
+// recoveryConditions are the fault conditions for the recovery ablation.
+// They are deliberately harsher than the standard fault sweep and tuned to
+// damage data cells while leaving the frame structurally decodable — the
+// regime soft recovery targets. (Corner occlusion or mid-frame splices
+// instead destroy detection/attribution, a capture-level loss no amount
+// of per-cell confidence can undo.)
+var recoveryConditions = []struct {
+	name  string
+	build func(seed int64) *faults.Chain
+}{
+	{"drop 20% + burst", func(seed int64) *faults.Chain {
+		return faults.NewChain(seed,
+			faults.FrameDrop{P: 0.2},
+			faults.BurstBlocks{P: 0.9, MaxBursts: 4, MinPx: 24, MaxPx: 64})
+	}},
+	{"drop 15% + splice 85% low", func(seed int64) *faults.Chain {
+		// Narrow cuts near the bottom edge: the replayed tail rows corrupt
+		// a sliver of data cells (confidently wrong), sized so the damage
+		// per RS message sits at the erasure-capacity knee.
+		return faults.NewChain(seed,
+			faults.FrameDrop{P: 0.15},
+			faults.PartialFrame{P: 0.85, Splice: true, MinFrac: 0.5, MaxFrac: 0.9})
+	}},
+	{"occlude center", func(seed int64) *faults.Chain {
+		return faults.NewChain(seed,
+			faults.Occlusion{P: 1, MaxPatches: 3, MinFrac: 0.18, MaxFrac: 0.32})
+	}},
+}
+
+// recoveryModes is the ablation axis, in increasing-capability order.
+var recoveryModes = []transport.RecoveryMode{
+	transport.RecoveryOff,
+	transport.RecoveryErasures,
+	transport.RecoveryLadder,
+	transport.RecoveryCombine,
+}
+
+// recoveryRate is the ablation's display rate: high enough (vs the 30 fps
+// camera) that most frames get at most two captures, so a single faulty
+// capture cannot be outvoted by clean redundancy — the regime where soft
+// recovery matters.
+const recoveryRate = 14
+
+// RecoverySweep is the decode-recovery ablation (HARQ proof): a text
+// transfer through each fault condition at every recovery mode, with
+// rounds deliberately scarce (MaxRounds 2) so per-capture recovery and
+// cross-round combining — not brute retransmission — determine delivery.
+// All modes of one condition derive their seeds from the condition index
+// alone, so they face bit-identical fault and channel randomness.
+func RecoverySweep(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "recovery",
+		Title:   "Decode-recovery ablation: off / erasures / ladder / ladder+combining",
+		Columns: []string{"condition", "mode", "delivered", "rounds", "ladder_attempts", "combined", "bit_exact"},
+		Notes: []string{
+			"all four modes of a condition share one fault/channel seed, so they face identical corruption",
+			"delivered is chunks collected over chunks needed; bit_exact means the whole file arrived intact",
+			"MaxRounds is 2 (vs the fault sweep's 12): recovery, not retransmission volume, must close the gap",
+		},
+	}
+	type row struct {
+		stats *transport.Stats
+		exact bool
+	}
+	nm := len(recoveryModes)
+	results := make([]row, len(recoveryConditions)*nm)
+	err := forEachPoint(o, len(results), func(k int) error {
+		ci, mi := k/nm, k%nm
+		cond, mode := recoveryConditions[ci], recoveryModes[mi]
+		// Seeds depend only on the condition — never on the mode — so the
+		// ablation compares modes under identical corruption.
+		chain := cond.build(seedAt(o.Seed, ci, 2))
+		chain.Recorder = o.Recorder
+		// The stream channel's chroma noise keeps classification imperfect,
+		// so per-cell confidence carries real information.
+		cfg := streamChannel()
+		cfg.Seed = seedAt(o.Seed, ci, 0)
+
+		geo, err := layout.NewGeometry(o.Scale.ScreenW, o.Scale.ScreenH, defaultBlock)
+		if err != nil {
+			return err
+		}
+		ccfg := core.Config{Geometry: geo, DisplayRate: recoveryRate, AppType: uint8(transport.AppText), Recorder: o.Recorder}
+		combine := mode.Configure(&ccfg)
+		codec, err := core.NewCodec(ccfg)
+		if err != nil {
+			return err
+		}
+		cam := cameraDefault()
+		cam.Faults = chain
+		cam.Recorder = o.Recorder
+		sess := &transport.Session{
+			Codec: codec,
+			Link: transport.Link{
+				Channel:     channel.MustNew(cfg),
+				Camera:      cam,
+				DisplayRate: recoveryRate,
+			},
+			MaxRounds: 2,
+			Combine:   combine,
+			Recorder:  o.Recorder,
+		}
+		text := workload.Text(codec.FrameCapacity()*6, seedAt(o.Seed, ci, 1))
+		got, stats, err := sess.Transfer(text)
+		if stats == nil {
+			return fmt.Errorf("recovery sweep %q/%s: %w", cond.name, mode, err)
+		}
+		results[k] = row{stats, err == nil && string(got) == string(text)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, r := range results {
+		cond, mode := recoveryConditions[k/nm], recoveryModes[k%nm]
+		delivered := 0.0
+		if r.stats.FramesNeeded > 0 {
+			delivered = float64(r.stats.ChunksDelivered) / float64(r.stats.FramesNeeded)
+		}
+		t.AddRow(cond.name, mode.String(), delivered, r.stats.Rounds,
+			r.stats.LadderAttempts, r.stats.CombinedDecodes, fmt.Sprint(r.exact))
+	}
+	return t, nil
+}

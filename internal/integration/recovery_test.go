@@ -1,0 +1,98 @@
+package integration
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rainbar/internal/experiment"
+)
+
+const recoveryGoldenPath = "testdata/golden_recovery.json"
+
+// recoveryTable runs the recovery ablation at its pinned configuration.
+// Everything in the sweep is seed-deterministic, so the table is
+// bit-reproducible across runs and worker counts.
+func recoveryTable(t *testing.T) *experiment.Table {
+	t.Helper()
+	tbl, err := experiment.RecoverySweep(experiment.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestRecoveryAblationGolden pins the recovery ablation table (condition x
+// mode, delivered fraction and ladder activity) bit-for-bit, and asserts
+// the ablation's ordering invariant: within each fault condition, the
+// delivered fraction never decreases as recovery capability grows
+// (off -> erasures -> ladder -> combine), and the full ladder with
+// combining strictly beats recovery-off on the splice and occlusion
+// conditions. Regenerate with `go test ./internal/integration -run
+// RecoveryAblation -update` after an intentional pipeline change.
+func TestRecoveryAblationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery ablation sweep is slow; skipping in -short mode")
+	}
+	tbl := recoveryTable(t)
+
+	// Ordering invariants hold regardless of the pinned bytes.
+	type modeRow struct {
+		mode      string
+		delivered float64
+	}
+	byCond := map[string][]modeRow{}
+	var condOrder []string
+	for _, row := range tbl.Rows {
+		cond, mode := row[0], row[1]
+		delivered, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad delivered fraction: %v", row, err)
+		}
+		if _, ok := byCond[cond]; !ok {
+			condOrder = append(condOrder, cond)
+		}
+		byCond[cond] = append(byCond[cond], modeRow{mode, delivered})
+	}
+	for _, cond := range condOrder {
+		rows := byCond[cond]
+		for i := 1; i < len(rows); i++ {
+			if rows[i].delivered < rows[i-1].delivered {
+				t.Errorf("%s: delivered fraction decreased %s(%.4f) -> %s(%.4f); recovery modes must not hurt",
+					cond, rows[i-1].mode, rows[i-1].delivered, rows[i].mode, rows[i].delivered)
+			}
+		}
+		off, combine := rows[0], rows[len(rows)-1]
+		strict := strings.Contains(cond, "splice") || strings.Contains(cond, "occlude")
+		if strict && combine.delivered <= off.delivered {
+			t.Errorf("%s: combine (%.4f) must strictly beat off (%.4f)", cond, combine.delivered, off.delivered)
+		}
+	}
+
+	got := tbl.Format()
+	if *updateGolden {
+		blob, err := json.MarshalIndent(map[string]string{"table": got}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(recoveryGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote recovery ablation golden to %s", recoveryGoldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(recoveryGoldenPath)
+	if err != nil {
+		t.Fatalf("read recovery golden (regenerate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse %s: %v", recoveryGoldenPath, err)
+	}
+	if got != want["table"] {
+		t.Errorf("recovery ablation table changed (regenerate with -update if intentional)\n--- got ---\n%s--- want ---\n%s", got, want["table"])
+	}
+}

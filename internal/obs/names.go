@@ -32,6 +32,18 @@ const (
 	// stage is the core.FailureClass (detect, locate, header, sync,
 	// correct, dropped, other).
 	MCoreDecodeFailures = "rainbar_core_decode_failures_total"
+	// MCoreLadderAttempts counts decode-recovery hypotheses attempted;
+	// label hypothesis is the core.Hyp* ID (erasures, mu-0.45, mu-0.65,
+	// rescan, combine).
+	MCoreLadderAttempts = "rainbar_core_ladder_attempts_total"
+	// MCoreLadderSuccesses counts hypotheses that recovered a decode (for
+	// grid-level hypotheses: that produced the adopted grid reading);
+	// label hypothesis as MCoreLadderAttempts.
+	MCoreLadderSuccesses = "rainbar_core_ladder_successes_total"
+	// MCoreCellConfidence is the per-capture mean data-cell classification
+	// confidence as a percentage (0-100), recorded only when the recovery
+	// ladder is enabled.
+	MCoreCellConfidence = "rainbar_core_cell_confidence_percent"
 
 	// --- channel / camera: the simulated optical link ---
 
@@ -70,6 +82,9 @@ const (
 	// MTransportDecodeFailures counts classified per-capture decode
 	// failures seen by sessions; label stage as MCoreDecodeFailures.
 	MTransportDecodeFailures = "rainbar_transport_decode_failures_total"
+	// MTransportCombinedDecodes counts frames recovered by fusing failed
+	// captures' soft tables across retransmission rounds (HARQ).
+	MTransportCombinedDecodes = "rainbar_transport_combined_decodes_total"
 
 	// --- experiment: the sweep-point worker pool ---
 

@@ -119,7 +119,7 @@ func (s *Session) TransferLossy(data []byte) ([]byte, *LossyStats, error) {
 		stats.Rounds = round
 		s.obsInc(obs.MTransportRounds, 1)
 		endRound := obs.OrNop(s.Recorder).Span(obs.MTransportRoundSeconds)
-		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, s.Link.DisplayRate, &stats.Stats)
+		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, nil, s.Link.DisplayRate, &stats.Stats)
 		endRound()
 		if err != nil {
 			return nil, nil, err
@@ -142,6 +142,7 @@ func (s *Session) TransferLossy(data []byte) ([]byte, *LossyStats, error) {
 		}
 	}
 	stats.FinalDisplayRate = s.Link.DisplayRate
+	stats.ChunksDelivered = nChunks - len(missing)
 	s.faultDelta(&stats.Stats, faultBase, dropBase)
 
 	result, _, report, err := collector.FileWithConcealment()

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"fmt"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core"
+	"rainbar/internal/obs"
+)
+
+// RecoveryMode selects how much of the decode-recovery ladder a transfer
+// uses. It is the single knob the CLIs and the experiment ablations
+// expose; Configure maps it onto core.Config and the Session.
+type RecoveryMode int
+
+const (
+	// RecoveryOff disables the ladder entirely: decoding is bit-identical
+	// to a codec with RecoveryBudget 0.
+	RecoveryOff RecoveryMode = iota
+	// RecoveryErasures enables only the confidence-ranked erasure
+	// hypothesis (the ablation isolating soft classification).
+	RecoveryErasures
+	// RecoveryLadder enables the full per-capture ladder: ranked erasures,
+	// the μ-sweep, and the locator re-scan.
+	RecoveryLadder
+	// RecoveryCombine is RecoveryLadder plus cross-round soft combining
+	// (HARQ): failed frames' soft tables are cached and fused with the
+	// retransmission round's captures.
+	RecoveryCombine
+)
+
+// recoveryModeNames is the canonical flag spelling of each mode.
+var recoveryModeNames = [...]string{
+	RecoveryOff:      "off",
+	RecoveryErasures: "erasures",
+	RecoveryLadder:   "ladder",
+	RecoveryCombine:  "combine",
+}
+
+// String returns the flag spelling of the mode.
+func (m RecoveryMode) String() string {
+	if m < 0 || int(m) >= len(recoveryModeNames) {
+		return fmt.Sprintf("RecoveryMode(%d)", int(m))
+	}
+	return recoveryModeNames[m]
+}
+
+// ParseRecoveryMode parses a -recovery flag value.
+func ParseRecoveryMode(s string) (RecoveryMode, error) {
+	for m, name := range recoveryModeNames {
+		if s == name {
+			return RecoveryMode(m), nil
+		}
+	}
+	return RecoveryOff, fmt.Errorf("transport: unknown recovery mode %q (want off, erasures, ladder or combine)", s)
+}
+
+// Configure applies the mode to a codec configuration and reports whether
+// the session should enable cross-round combining. Off zeroes the budget,
+// keeping decode results byte-identical to a ladder-free build.
+func (m RecoveryMode) Configure(cfg *core.Config) (combine bool) {
+	switch m {
+	case RecoveryErasures:
+		cfg.RecoveryBudget = core.DefaultRecoveryBudget
+		cfg.RecoveryErasuresOnly = true
+	case RecoveryLadder:
+		cfg.RecoveryBudget = core.DefaultRecoveryBudget
+		cfg.RecoveryErasuresOnly = false
+	case RecoveryCombine:
+		cfg.RecoveryBudget = core.DefaultRecoveryBudget
+		cfg.RecoveryErasuresOnly = false
+		return true
+	default:
+		cfg.RecoveryBudget = 0
+		cfg.RecoveryErasuresOnly = false
+	}
+	return false
+}
+
+// softTable is one cached per-cell (symbol, confidence) reading of a frame
+// that failed to decode.
+type softTable struct {
+	cells []colorspace.Color
+	conf  []float64
+}
+
+// combiner caches failed frames' soft tables across retransmission rounds,
+// keyed by chunk index — the stable identity of a frame's payload (frame
+// sequence numbers change on every retransmission, data cells do not).
+type combiner struct {
+	tables map[int]softTable
+}
+
+func newCombiner() *combiner {
+	return &combiner{tables: make(map[int]softTable)}
+}
+
+// absorb folds one failed frame's soft table into the cache and, when an
+// earlier round already contributed a table for the same chunk, fuses the
+// two by max-confidence vote and re-runs payload assembly on the fused
+// table. A successful fusion delivers the chunk to the collector; a failed
+// one keeps the fused table for the next round.
+func (cb *combiner) absorb(s *Session, ci int, df *core.DecodedFrame, collector *Collector, stats *Stats) {
+	old, seen := cb.tables[ci]
+	cells, conf := core.FuseCells(old.cells, old.conf, df.Cells, df.Conf)
+	if !seen {
+		cb.tables[ci] = softTable{cells: cells, conf: conf}
+		return
+	}
+	stats.addLadder(1, nil) // the combine hypothesis itself
+	payload, trace, err := s.Codec.AssemblePayloadSoft(cells, conf, df.Header)
+	if trace != nil {
+		stats.addLadder(len(trace.Attempts), traceWins(trace))
+	}
+	if err == nil && collector.Add(payload) == nil {
+		stats.CombinedDecodes++
+		stats.addLadder(0, map[string]int{core.HypCombine: 1})
+		s.obsInc(obs.MTransportCombinedDecodes, 1)
+		delete(cb.tables, ci)
+		return
+	}
+	cb.tables[ci] = softTable{cells: cells, conf: conf}
+}
+
+// traceWins converts a recovery trace's winner into a success tally.
+func traceWins(t *core.RecoveryTrace) map[string]int {
+	if t == nil || t.Winner == "" {
+		return nil
+	}
+	return map[string]int{t.Winner: 1}
+}

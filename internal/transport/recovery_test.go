@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/workload"
+)
+
+func TestRecoveryModeParseRoundTrip(t *testing.T) {
+	for _, m := range []RecoveryMode{RecoveryOff, RecoveryErasures, RecoveryLadder, RecoveryCombine} {
+		got, err := ParseRecoveryMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseRecoveryMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseRecoveryMode("sideways"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRecoveryModeConfigure(t *testing.T) {
+	for _, tc := range []struct {
+		mode         RecoveryMode
+		budget       int
+		erasuresOnly bool
+		combine      bool
+	}{
+		{RecoveryOff, 0, false, false},
+		{RecoveryErasures, core.DefaultRecoveryBudget, true, false},
+		{RecoveryLadder, core.DefaultRecoveryBudget, false, false},
+		{RecoveryCombine, core.DefaultRecoveryBudget, false, true},
+	} {
+		cfg := core.Config{RecoveryBudget: 99, RecoveryErasuresOnly: true}
+		combine := tc.mode.Configure(&cfg)
+		if cfg.RecoveryBudget != tc.budget || cfg.RecoveryErasuresOnly != tc.erasuresOnly || combine != tc.combine {
+			t.Errorf("%s: budget=%d erasuresOnly=%v combine=%v, want %d/%v/%v",
+				tc.mode, cfg.RecoveryBudget, cfg.RecoveryErasuresOnly, combine,
+				tc.budget, tc.erasuresOnly, tc.combine)
+		}
+	}
+}
+
+func TestCombinerFusesComplementaryRounds(t *testing.T) {
+	// Two rounds each produce a failed capture of chunk 0, corrupted in
+	// disjoint cell ranges beyond the per-capture erasure budget. The
+	// combiner must cache round 1's soft table, fuse it with round 2's,
+	// and deliver the chunk — counted in CombinedDecodes.
+	geo, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewCodec(core.Config{
+		Geometry:       geo,
+		DisplayRate:    10,
+		RecoveryBudget: core.DefaultRecoveryBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Session{Codec: codec}
+	fc := FileCodec{Codec: codec}
+	data := workload.Text(2*fc.ChunkSize(), 77) // chunk 0 fills a whole frame
+	payload, err := fc.Chunk(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := codec.EncodeFrame(payload, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]colorspace.Color, len(geo.DataCells()))
+	for i, cell := range geo.DataCells() {
+		truth[i] = f.ColorAt(cell.Row, cell.Col)
+	}
+	capture := func(lo, hi int) *core.DecodedFrame {
+		cells := append([]colorspace.Color(nil), truth...)
+		conf := make([]float64, len(cells))
+		for i := range conf {
+			conf[i] = 1
+		}
+		for i := lo; i < hi; i++ {
+			cells[i] = colorspace.Color((uint8(cells[i]) + 1) % colorspace.NumDataColors)
+			conf[i] = 0
+		}
+		return &core.DecodedFrame{Header: f.Header(), Err: core.ErrBadFrame, Cells: cells, Conf: conf}
+	}
+
+	comb := newCombiner()
+	collector := NewCollector()
+	stats := &Stats{}
+	comb.absorb(s, 0, capture(0, 64), collector, stats) // round 1: cached
+	if stats.CombinedDecodes != 0 || collector.Complete() {
+		t.Fatalf("first failed capture already delivered (stats %+v)", stats)
+	}
+	comb.absorb(s, 0, capture(64, 128), collector, stats) // round 2: fused
+	if stats.CombinedDecodes != 1 {
+		t.Fatalf("CombinedDecodes = %d, want 1 (stats %+v)", stats.CombinedDecodes, stats)
+	}
+	if stats.LadderSuccessesByHypothesis[core.HypCombine] != 1 {
+		t.Fatalf("combine not tallied by hypothesis: %+v", stats.LadderSuccessesByHypothesis)
+	}
+
+	// Deliver the remaining chunks normally; the file must come back intact.
+	for ci := 1; ci < fc.NumChunks(len(data)); ci++ {
+		rest, err := fc.Chunk(data, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := collector.Add(rest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, app, err := collector.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != AppText || !bytes.Equal(got, data) {
+		t.Fatalf("reassembled file wrong (app %v, exact %v)", app, bytes.Equal(got, data))
+	}
+}

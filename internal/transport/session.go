@@ -49,6 +49,10 @@ type Stats struct {
 	FramesSent int
 	// FramesNeeded is the minimum frame count (chunks).
 	FramesNeeded int
+	// ChunksDelivered counts chunks the receiver collected; equals
+	// FramesNeeded on a bit-exact transfer and measures partial delivery
+	// otherwise.
+	ChunksDelivered int
 	// AirTime is the total simulated display time.
 	AirTime time.Duration
 	// Goodput is payload bytes delivered per second of air time.
@@ -71,6 +75,30 @@ type Stats struct {
 	FaultCounts map[string]int
 	// FramesDropped counts captures lost to injected whole-frame loss.
 	FramesDropped int
+
+	// LadderAttempts counts decode-recovery hypotheses attempted across
+	// all rounds (receiver ladder plus transport-level combining).
+	LadderAttempts int
+	// LadderSuccessesByHypothesis tallies recoveries per hypothesis ID
+	// (core.Hyp*). Nil when the ladder never recovered anything.
+	LadderSuccessesByHypothesis map[string]int
+	// CombinedDecodes counts frames delivered only by fusing failed
+	// captures' soft tables across retransmission rounds (HARQ).
+	CombinedDecodes int
+}
+
+// addLadder folds recovery-ladder activity into the stats.
+func (s *Stats) addLadder(attempts int, wins map[string]int) {
+	s.LadderAttempts += attempts
+	for k, v := range wins {
+		if v == 0 {
+			continue
+		}
+		if s.LadderSuccessesByHypothesis == nil {
+			s.LadderSuccessesByHypothesis = make(map[string]int)
+		}
+		s.LadderSuccessesByHypothesis[k] += v
+	}
 }
 
 // addFailure records one classified decode failure.
@@ -106,6 +134,12 @@ type Session struct {
 	// (default MaxRounds x chunks, the flat loop's worst case). When the
 	// budget runs out the transfer fails with the budget in the error.
 	FrameBudget int
+	// Combine enables cross-round soft combining (HARQ): frames that fail
+	// to decode leave behind a per-cell (symbol, confidence) table, and the
+	// retransmission round's equally-failed capture is fused with it before
+	// giving up. Effective only when the codec's RecoveryBudget is on
+	// (failed frames carry no soft table otherwise).
+	Combine bool
 	// Recorder, when set, counts transfers, rounds, retransmissions and
 	// rate fallbacks, and times each round. Transfer outcomes never depend
 	// on it; round timing uses whatever clock the recorder was built with.
@@ -192,6 +226,10 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 	stats := &Stats{FramesNeeded: nChunks, App: Classify(data)}
 	faultBase, dropBase := s.faultBaseline()
 	var nextSeq uint16
+	var comb *combiner
+	if s.Combine {
+		comb = newCombiner()
+	}
 
 	s.obsInc(obs.MTransportTransfers, 1)
 	rate := s.Link.DisplayRate
@@ -203,7 +241,7 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 		stats.Rounds = round
 		s.obsInc(obs.MTransportRounds, 1)
 		endRound := obs.OrNop(s.Recorder).Span(obs.MTransportRoundSeconds)
-		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, rate, stats)
+		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, comb, rate, stats)
 		endRound()
 		if err != nil {
 			return nil, nil, err
@@ -245,6 +283,7 @@ func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
 		}
 	}
 	stats.FinalDisplayRate = rate
+	stats.ChunksDelivered = nChunks - len(missing)
 	s.faultDelta(stats, faultBase, dropBase)
 
 	if len(missing) > 0 {
@@ -292,10 +331,15 @@ func (s *Session) faultDelta(stats *Stats, base map[string]int, dropBase int) {
 // films them through the link, and feeds every decoded frame into the
 // collector. Sequence numbers continue across rounds so consecutively
 // displayed frames keep consecutive tracking-bar colors. Decode failures
-// reported by the receiver are classified into stats.
-func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *uint16, collector *Collector, rate float64, stats *Stats) (framesSent int, airTime time.Duration, err error) {
+// reported by the receiver are classified into stats; when comb is
+// non-nil, failed frames' soft tables are fused across rounds.
+func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *uint16, collector *Collector, comb *combiner, rate float64, stats *Stats) (framesSent int, airTime time.Duration, err error) {
 	nChunks := fc.NumChunks(len(data))
 	frames := make([]*raster.Image, 0, len(chunks))
+	// seqChunk maps this round's frame sequence numbers back to chunk
+	// indices: a failed frame has no decodable chunk prefix, so combining
+	// keys its soft table by the chunk the sender put at that sequence.
+	seqChunk := make(map[uint16]int, len(chunks))
 	for _, ci := range chunks {
 		payload, err := fc.Chunk(data, ci)
 		if err != nil {
@@ -305,6 +349,7 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 		if err != nil {
 			return 0, 0, fmt.Errorf("transport: %w", err)
 		}
+		seqChunk[*nextSeq] = ci
 		*nextSeq = (*nextSeq + 1) & 0x7FFF
 		frames = append(frames, f.Render())
 	}
@@ -330,11 +375,18 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 		}
 	}
 	rx.Flush()
+	attempts, wins := rx.RecoveryStats()
+	stats.addLadder(attempts, wins)
 	for _, df := range rx.Frames() {
 		if df.Err != nil {
 			class := core.ClassifyFailure(df.Err)
 			stats.addFailure(class)
 			s.recordFailure(class)
+			if comb != nil && df.Cells != nil {
+				if ci, ok := seqChunk[df.Header.Seq]; ok {
+					comb.absorb(s, ci, df, collector, stats)
+				}
+			}
 			continue
 		}
 		// Malformed payloads are simply not collected.

@@ -71,13 +71,17 @@ type config struct {
 	rsParity         int
 	appType          AppType
 	recorder         Recorder
+	recovery         RecoveryMode
 
 	disableMiddleLocators     bool
 	disableLocationCorrection bool
 }
 
 func defaults() config {
-	return config{screenW: 1920, screenH: 1080, blockSize: 13, displayRate: 10}
+	// The decode-recovery ladder is on by default at the facade: it only
+	// engages after a standard decode fails, so it never changes a decode
+	// that would have succeeded. Opt out with WithRecovery(RecoveryOff).
+	return config{screenW: 1920, screenH: 1080, blockSize: 13, displayRate: 10, recovery: RecoveryCombine}
 }
 
 // Option customizes a codec built by New. The zero option set reproduces
@@ -118,6 +122,15 @@ func WithRecorder(r Recorder) Option {
 	return func(c *config) { c.recorder = r }
 }
 
+// WithRecovery selects the decode-recovery mode (see RecoveryMode). The
+// default is RecoveryCombine: the full multi-hypothesis ladder, plus
+// cross-round soft combining in sessions built with NewSession. Recovery
+// only runs after a standard decode fails, so any mode other than
+// RecoveryOff can only add decoded frames, never change one.
+func WithRecovery(m RecoveryMode) Option {
+	return func(c *config) { c.recovery = m }
+}
+
 // WithoutMiddleLocators disables the middle code-locator column on the
 // decoder side (the paper's Fig. 4 ablation).
 func WithoutMiddleLocators() Option {
@@ -150,7 +163,7 @@ func New(opts ...Option) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rainbar: %w", err)
 	}
-	c, err := core.NewCodec(core.Config{
+	coreCfg := core.Config{
 		Geometry:                  geo,
 		RSParity:                  cfg.rsParity,
 		DisplayRate:               uint8(cfg.displayRate),
@@ -158,7 +171,9 @@ func New(opts ...Option) (*Codec, error) {
 		DisableMiddleLocators:     cfg.disableMiddleLocators,
 		DisableLocationCorrection: cfg.disableLocationCorrection,
 		Recorder:                  cfg.recorder,
-	})
+	}
+	cfg.recovery.Configure(&coreCfg)
+	c, err := core.NewCodec(coreCfg)
 	if err != nil {
 		return nil, fmt.Errorf("rainbar: %w", err)
 	}
@@ -243,12 +258,36 @@ const (
 	AppAudio   = transport.AppAudio
 )
 
+// RecoveryMode selects how much of the decode-recovery ladder is used:
+// RecoveryOff, RecoveryErasures (confidence-ranked erasures only),
+// RecoveryLadder (erasures, μ-sweep, locator re-scan) or RecoveryCombine
+// (the ladder plus cross-round soft combining).
+type RecoveryMode = transport.RecoveryMode
+
+// Decode-recovery modes, in increasing capability order.
+const (
+	RecoveryOff      = transport.RecoveryOff
+	RecoveryErasures = transport.RecoveryErasures
+	RecoveryLadder   = transport.RecoveryLadder
+	RecoveryCombine  = transport.RecoveryCombine
+)
+
+// ParseRecoveryMode parses a recovery-mode name ("off", "erasures",
+// "ladder", "combine"), as accepted by the CLIs' -recovery flag.
+func ParseRecoveryMode(s string) (RecoveryMode, error) { return transport.ParseRecoveryMode(s) }
+
+// RecoveryTrace records the hypotheses a recovered decode attempted and
+// which one won; see Codec.DecodeFrameRecover.
+type RecoveryTrace = core.RecoveryTrace
+
 // NewSession builds a transfer session over a link. Tune retransmission
 // via the Session fields (MaxRounds, MinDisplayRate, FrameBudget) before
 // calling Transfer or TransferLossy; set Session.Recorder to observe
-// rounds, retransmissions and rate fallbacks.
+// rounds, retransmissions and rate fallbacks. Cross-round soft combining
+// is enabled automatically when the codec was built with recovery on
+// (the New default); clear Session.Combine to disable it.
 func NewSession(c *Codec, link Link) *Session {
-	return &Session{Codec: c, Link: link}
+	return &Session{Codec: c, Link: link, Combine: c.Config().RecoveryBudget > 0}
 }
 
 // FileCodec chunks whole files into frames and back; see

@@ -6,7 +6,9 @@
 # error-discipline / observability / concurrency contract breach; the
 # race step protects the parallel experiment engine, the row-parallel
 # raster kernels and the sharded metrics recorder; the metrics smoke
-# proves rainbar-bench can instrument a sweep end to end; the fuzz steps
+# proves rainbar-bench can instrument a sweep end to end; the recovery
+# smoke proves the decode-recovery ablation runs under the full ladder
+# with cross-round combining; the fuzz steps
 # keep the decode paths panic-free on corrupt input (Go runs one fuzz
 # target per invocation, hence one line each). Set CI_FUZZ=0 to skip the
 # fuzz smoke locally and keep the build+lint+test gate fast. Run before
@@ -27,9 +29,11 @@ go run ./cmd/rainbar-lint ./...
 go test ./...
 go test -race ./...
 go run ./cmd/rainbar-bench -exp fig10a -frames 1 -metrics - >/dev/null
+go run ./cmd/rainbar-bench -exp recovery -frames 1 -recovery combine >/dev/null
 
 if [ "${CI_FUZZ:-1}" != "0" ]; then
 	go test -fuzz=FuzzHeaderDecode -fuzztime=10s ./internal/core/header
 	go test -fuzz=FuzzRSDecode -fuzztime=10s ./internal/rs
 	go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/core
+	go test -fuzz=FuzzLadderDecode -fuzztime=20s ./internal/core
 fi
