@@ -11,6 +11,9 @@
 package rainbar_test
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"testing"
 
 	"rainbar/internal/experiment"
@@ -26,11 +29,41 @@ func benchOptions() experiment.Options {
 	return o
 }
 
-// reportTable attaches selected table cells as benchmark metrics and logs
-// the full table once.
+// reportTable attaches the table's numeric cells as benchmark metrics —
+// one metric per cell, named <table>_<column>_<first-cell-of-row> so
+// benchstat can diff artifact values across revisions — and logs the full
+// table once.
 func reportTable(b *testing.B, t *experiment.Table) {
 	b.Helper()
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		label := metricToken(row[0])
+		for ci := 1; ci < len(row) && ci < len(t.Columns); ci++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[ci], "%"), 64)
+			if err != nil {
+				continue // non-numeric cell (verdicts, shape notes)
+			}
+			b.ReportMetric(v, fmt.Sprintf("%s_%s_%s", metricToken(t.ID), metricToken(t.Columns[ci]), label))
+		}
+	}
 	b.Log("\n" + t.Format())
+}
+
+// metricToken reduces a header or row label to a benchstat-safe token:
+// lowercase, with unit-style punctuation collapsed to underscores.
+func metricToken(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '.' || r == '-':
+			sb.WriteRune(r)
+		case sb.Len() > 0 && sb.String()[sb.Len()-1] != '_':
+			sb.WriteByte('_')
+		}
+	}
+	return strings.Trim(sb.String(), "_")
 }
 
 func BenchmarkCapacityAnalysis(b *testing.B) {

@@ -38,6 +38,7 @@ import (
 
 	"rainbar/internal/experiment"
 	"rainbar/internal/obs"
+	"rainbar/internal/perf"
 	"rainbar/internal/transport"
 )
 
@@ -50,6 +51,8 @@ func main() {
 		full      = flag.Bool("full", false, "run at the S4's native 1920x1080 (slow)")
 		fspec     = flag.String("faults", "", "extra fault-sweep condition, e.g. 'drop=0.2,occlude=0.1' (see internal/faults)")
 		recovery  = flag.String("recovery", "off", "decode-recovery mode for transfer sweeps: off, erasures, ladder or combine (the recovery ablation always runs all four)")
+		perfJSON  = flag.String("perf-json", "", "run the decode-path kernel benchmarks and write a perf snapshot to this file ('-' = stdout) instead of running experiments")
+		perfTime  = flag.String("perf-benchtime", "", "benchtime for -perf-json runs, in -test.benchtime syntax (default 1s; e.g. '100ms' or '50x' for a smoke run)")
 		metrics   = flag.String("metrics", "", "write pipeline metrics to this file after the run ('-' = stdout, *.json = JSON exposition)")
 		metricsTb = flag.Bool("metrics-table", false, "print the collected metrics as a summary table (implies -metrics collection)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -62,6 +65,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, "rainbar-bench: pprof:", err)
 			}
 		}()
+	}
+
+	if *perfJSON != "" {
+		if err := writePerfSnapshot(*perfJSON, *perfTime); err != nil {
+			fmt.Fprintln(os.Stderr, "rainbar-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	o := experiment.DefaultOptions()
@@ -104,6 +115,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writePerfSnapshot runs the kernel benchmarks and writes the schema'd
+// snapshot to path ("-" = stdout). scripts/bench.sh wraps this to produce
+// the committed BENCH_<n>.json files.
+func writePerfSnapshot(path, benchtime string) error {
+	s, err := perf.Collect(benchtime)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return s.WriteJSON(w)
 }
 
 // writeMetrics exposes the recorder to path: "-" means stdout, a .json

@@ -15,7 +15,10 @@
 //     (RB-F1);
 //   - pool/goroutine hygiene — sync.Pool values return to their pool on
 //     every path, and goroutines started in loops do not capture state the
-//     loop keeps mutating (RB-C1..C2).
+//     loop keeps mutating (RB-C1..C2);
+//   - hot-path memory — the designated decode hot-path functions contain
+//     no unannotated make/append growth; buffers there come from the
+//     decode scratch (RB-P1).
 //
 // Each rule lives in its own file and registers an *Analyzer; the shared
 // core here provides the Pass plumbing, the suppression directives, and the
@@ -70,6 +73,10 @@ type Config struct {
 	// PoolPairs maps pool-accessor function names to the call that must
 	// return the value (RB-C1), in addition to sync.Pool.Get/Put proper.
 	PoolPairs map[string]string
+	// HotPathFuncs are the decode hot-path functions where make/append
+	// growth must be annotated (RB-P1), keyed "Recv.Name" for methods or
+	// by bare name for functions. Only consulted in DecodeRoots packages.
+	HotPathFuncs map[string]bool
 }
 
 // DefaultConfig returns the repository's contract configuration.
@@ -85,6 +92,10 @@ func DefaultConfig() Config {
 		},
 		PoolPairs: map[string]string{
 			"GetFloats": "PutFloats",
+		},
+		HotPathFuncs: map[string]bool{
+			"Codec.extractGrid": true, "Codec.DecodeFrame": true,
+			"Receiver.ingest": true,
 		},
 	}
 }

@@ -68,6 +68,10 @@ func runFixture(t *testing.T, name string, contract bool) {
 		ContractRoots: map[string]bool{},
 		DecodeRoots:   map[string]bool{name: true},
 		PoolPairs:     map[string]string{"GetFloats": "PutFloats"},
+		HotPathFuncs: map[string]bool{
+			"Codec.extractGrid": true, "Codec.DecodeFrame": true,
+			"Receiver.ingest": true,
+		},
 	}
 	if contract {
 		cfg.ContractRoots[name] = true
@@ -113,6 +117,7 @@ func TestFixtures(t *testing.T) {
 		{"poolput", true},
 		{"loopcapture", true},
 		{"ladder", true},
+		{"hotalloc", true},
 		// The contract rules stay quiet when the package is outside the
 		// contract set, so only the directive check (RB-X1) fires here.
 		{"directive", false},

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerHotAlloc (RB-P1) guards the zero-allocation decode hot path:
+// inside the designated hot functions (Config.HotPathFuncs), every make()
+// call and every append() — which may grow its backing array — must carry
+// a reasoned //lint:allow RB-P1 directive. The runtime side of the
+// contract is proved by the steady-state allocation test
+// (core.TestReceiverSteadyStateAllocFree) and the 0 allocs/op CI gate on
+// BenchmarkReceiverProcessSteady; this rule keeps new allocation sites
+// from landing in the hot path unreviewed — buffers there come from the
+// decode scratch (grow) or are justified in writing.
+var AnalyzerHotAlloc = &Analyzer{
+	ID:  "RB-P1",
+	Doc: "no unannotated make or append growth inside decode hot-path functions",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	if !p.Decode || len(p.Config.HotPathFuncs) == 0 {
+		return
+	}
+	for _, f := range p.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !p.Config.HotPathFuncs[hotFuncKey(fn)] {
+				continue
+			}
+			checkHotAllocs(p, fn.Body)
+		}
+	}
+}
+
+// hotFuncKey renders a declaration's lookup key: "Recv.Name" for methods
+// (pointer receivers unwrapped), the bare name otherwise — matching the
+// "Codec.extractGrid" style the Config uses.
+func hotFuncKey(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := fn.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+// checkHotAllocs reports make and append calls anywhere in the body,
+// function literals included — a closure declared in a hot function runs
+// on the hot path too.
+func checkHotAllocs(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true
+		}
+		switch id.Name {
+		case "make":
+			if len(call.Args) > 0 {
+				p.Report(call.Pos(), "make(%s) allocates on the decode hot path: take the buffer from the decode scratch (grow) or annotate with //lint:allow RB-P1 <reason>", exprString(call.Args[0]))
+			}
+		case "append":
+			if len(call.Args) > 0 {
+				p.Report(call.Pos(), "append(%s, ...) may grow its backing array on the decode hot path: pre-grow the buffer from the decode scratch or annotate with //lint:allow RB-P1 <reason>", exprString(call.Args[0]))
+			}
+		}
+		return true
+	})
+}

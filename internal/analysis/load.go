@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -198,6 +200,9 @@ func (l *Loader) parseDir(dir string, extTests bool) (files []*ast.File, testFil
 		if err != nil {
 			return nil, nil, "", err
 		}
+		if buildExcluded(f) {
+			continue
+		}
 		isTest := strings.HasSuffix(fn, "_test.go")
 		isExt := isTest && strings.HasSuffix(f.Name.Name, "_test")
 		if isExt != extTests {
@@ -212,6 +217,34 @@ func (l *Loader) parseDir(dir string, extTests bool) (files []*ast.File, testFil
 		testFile[f] = isTest
 	}
 	return files, testFile, name, nil
+}
+
+// buildExcluded reports whether a file's //go:build line rules it out of
+// the default build — e.g. the `//go:build race` / `//go:build !race`
+// test-constant pairs. Tags satisfied mirror a plain `go build`: GOOS,
+// GOARCH, the gc toolchain, and go1.x release tags; anything else
+// ("race", "ignore", custom tags) evaluates false, so exactly one file
+// of a tag pair survives and redeclaration errors cannot arise.
+func buildExcluded(f *ast.File) bool {
+	for _, g := range f.Comments {
+		if g.Pos() >= f.Package {
+			break
+		}
+		for _, c := range g.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			return !expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return false
 }
 
 // check returns the canonical type-checked unit for a module import path,

@@ -114,6 +114,10 @@ func exprString(e ast.Expr) string {
 		return exprString(e.X) + "[...]"
 	case *ast.StarExpr:
 		return "*" + exprString(e.X)
+	case *ast.ArrayType:
+		return "[]" + exprString(e.Elt)
+	case *ast.MapType:
+		return "map[" + exprString(e.Key) + "]" + exprString(e.Value)
 	}
 	return "expression"
 }

@@ -25,6 +25,7 @@ func AllAnalyzers() []*Analyzer {
 		AnalyzerFloatEq,     // RB-F1
 		AnalyzerPoolPut,     // RB-C1
 		AnalyzerLoopCapture, // RB-C2
+		AnalyzerHotAlloc,    // RB-P1
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package hotalloc is an RB-P1 fixture: make/append growth inside the
+// designated decode hot-path functions, annotated and not, plus the same
+// allocations in cold functions where the rule stays quiet.
+package hotalloc
+
+type Codec struct {
+	scratch []int
+}
+
+type Receiver struct {
+	got []byte
+}
+
+func (c *Codec) extractGrid(n int) []int {
+	cells := make([]int, n) // want "make\\(\\[\\]int\\) allocates on the decode hot path"
+	for i := range cells {
+		cells[i] = i
+	}
+	c.scratch = append(c.scratch, cells...) // want "append\\(c.scratch, ...\\) may grow its backing array"
+	return cells
+}
+
+func (c *Codec) DecodeFrame(n int) []int {
+	//lint:allow RB-P1 cold fallback: taken only when the caller passes no scratch
+	out := make([]int, n)
+	sum := func() []int {
+		return append(out, n) // want "append\\(out, ...\\) may grow its backing array"
+	}
+	return sum()
+}
+
+func (r *Receiver) ingest(b []byte) {
+	r.got = append(r.got, b...) // want "append\\(r.got, ...\\) may grow its backing array"
+}
+
+// Ingest is not in the hot set even though its receiver type matches:
+// keys name exact methods, not whole types.
+func (r *Receiver) Ingest(b []byte) {
+	r.got = append(r.got, b...)
+}
+
+// coldPath is outside the hot set; allocation is unremarkable here.
+func coldPath(n int) []int {
+	return make([]int, n)
+}

@@ -21,6 +21,16 @@ func BenchmarkClassifyRGB(b *testing.B) {
 	}
 }
 
+var sinkConf float64
+
+func BenchmarkClassifyRGBSoft(b *testing.B) {
+	cl := NewClassifier(0.32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkColor, sinkConf = cl.ClassifyRGBSoft(benchSamples[i%len(benchSamples)])
+	}
+}
+
 func BenchmarkToHSV(b *testing.B) {
 	var s HSV
 	for i := 0; i < b.N; i++ {

@@ -225,66 +225,51 @@ func (cl Classifier) Classify(p HSV) Color {
 	}
 }
 
-// ClassifyRGB converts and classifies in one step. It computes only the
-// HSV components the decision actually needs — value always, saturation
-// when not black, hue only for chromatic pixels — with the same arithmetic
-// and branch order as ToHSV, so the result is bit-identical to
-// Classify(p.ToHSV()) while skipping most of the conversion on the black
-// and white populations the decoder samples constantly (structural cells,
-// tracking-bar surround, white data blocks).
+// ClassifyRGB classifies an RGB sample directly, bit-identical to
+// Classify(p.ToHSV()) for every input and threshold but without any float
+// conversion: the black test is one table-backed comparison, the white
+// test one table lookup, and the hue sector reduces to integer channel
+// comparisons (see lut.go for the derivation and the exhaustive
+// equivalence proof in the tests).
 func (cl Classifier) ClassifyRGB(p RGB) Color {
 	tv := cl.TV
 	if tv == 0 {
 		tv = DefaultTV
 	}
-	r := float64(p.R) / 255
-	g := float64(p.G) / 255
-	b := float64(p.B) / 255
-	maxc := r
-	if g > maxc {
-		maxc = g
+	maxK := p.R
+	if p.G > maxK {
+		maxK = p.G
 	}
-	if b > maxc {
-		maxc = b
+	if p.B > maxK {
+		maxK = p.B
 	}
-	if maxc < tv { // V = maxc
+	if u8f[maxK] < tv { // V = maxc
 		return Black
 	}
-	minc := r
-	if g < minc {
-		minc = g
+	minK := p.R
+	if p.G < minK {
+		minK = p.G
 	}
-	if b < minc {
-		minc = b
+	if p.B < minK {
+		minK = p.B
 	}
-	delta := maxc - minc
-	// S = delta/maxc (0 when maxc == 0, which also forces delta == 0).
-	if maxc == 0 || delta/maxc < TSat {
+	if whiteTab[int(maxK)<<8|int(minK)] {
 		return White
 	}
-	// Chromatic: compute hue exactly as ToHSV does. delta > 0 here because
-	// delta == 0 implies S == 0 < TSat. The math.Mod of the max==r branch
-	// is dropped: |(g-b)/delta| <= 1 < 6, where Mod(x, 6) returns x
-	// unchanged.
-	var h float64
-	switch {
-	case maxc == r:
-		h = 60 * ((g - b) / delta)
-	case maxc == g:
-		h = 60 * ((b-r)/delta + 2)
-	default: // maxc == b
-		h = 60 * ((r-g)/delta + 4)
-	}
-	if h < 0 {
-		h += 360
-	}
-	switch {
-	case h > 60 && h <= 180:
-		return Green
-	case h > 180 && h <= 300:
-		return Blue
-	default:
+	// Chromatic. Branch order matches ToHSV's max selection: R wins ties
+	// with G and B, G wins ties with B.
+	switch maxK {
+	case p.R:
+		if p.B == p.R {
+			// Exact magenta tie: h == 300 lands on the blue sector's
+			// inclusive upper boundary.
+			return Blue
+		}
 		return Red
+	case p.G:
+		return Green
+	default:
+		return Blue
 	}
 }
 
@@ -303,46 +288,45 @@ func (cl Classifier) ClassifyRGBSoft(p RGB) (Color, float64) {
 	if tv == 0 {
 		tv = DefaultTV
 	}
-	r := float64(p.R) / 255
-	g := float64(p.G) / 255
-	b := float64(p.B) / 255
-	maxc := r
-	if g > maxc {
-		maxc = g
+	maxK := p.R
+	if p.G > maxK {
+		maxK = p.G
 	}
-	if b > maxc {
-		maxc = b
+	if p.B > maxK {
+		maxK = p.B
 	}
+	maxc := u8f[maxK]
 	if maxc < tv { // V = maxc
 		return Black, clamp01((tv - maxc) / tv)
 	}
-	minc := r
-	if g < minc {
-		minc = g
+	minK := p.R
+	if p.G < minK {
+		minK = p.G
 	}
-	if b < minc {
-		minc = b
+	if p.B < minK {
+		minK = p.B
 	}
-	delta := maxc - minc
+	delta := maxc - u8f[minK]
 	vMargin := 1.0
 	if tv < 1 {
 		vMargin = (maxc - tv) / (1 - tv)
 	}
-	if maxc == 0 || delta/maxc < TSat {
+	if whiteTab[int(maxK)<<8|int(minK)] {
 		sMargin := (TSat - delta/maxc) / TSat
-		if maxc == 0 {
+		if maxK == 0 {
 			sMargin = 1
 		}
 		return White, clamp01(min(vMargin, sMargin))
 	}
 	sMargin := (delta/maxc - TSat) / (1 - TSat)
+	r, g, b := u8f[p.R], u8f[p.G], u8f[p.B]
 	var h float64
-	switch {
-	case maxc == r:
+	switch maxK {
+	case p.R:
 		h = 60 * ((g - b) / delta)
-	case maxc == g:
+	case p.G:
 		h = 60 * ((b-r)/delta + 2)
-	default: // maxc == b
+	default: // max == b
 		h = 60 * ((r-g)/delta + 4)
 	}
 	if h < 0 {

@@ -110,6 +110,80 @@ func BenchmarkReceiverProcess(b *testing.B) {
 	}
 }
 
+func BenchmarkReceiverProcessSteady(b *testing.B) {
+	// BenchmarkReceiverProcess with one long-lived receiver recycled via
+	// Reset between batches — the steady state a continuously-running
+	// receiver reaches, where every decode intermediate comes from scratch
+	// buffers. The contract (enforced by TestReceiverSteadyStateAllocFree
+	// and scripts/ci.sh) is 0 allocs/op here.
+	c := testCodec(b)
+	ch := channel.MustNew(channel.DefaultConfig())
+	const batch = 4
+	caps := make([]*raster.Image, batch)
+	for i := range caps {
+		f, err := c.EncodeFrame(payloadFor(c, int64(i)), uint16(i), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caps[i], err = ch.Capture(f.Render())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rx := NewReceiver(c)
+	process := func() {
+		for _, capt := range caps {
+			if err := rx.Ingest(capt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rx.Flush()
+		for i := 0; i < batch; i++ {
+			if _, ok := rx.Frame(uint16(i)); !ok {
+				b.Fatalf("frame %d not decoded", i)
+			}
+		}
+		rx.Reset()
+	}
+	process() // warm the scratch buffers and freelists
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		process()
+	}
+}
+
+func BenchmarkReceiverIngestBatch(b *testing.B) {
+	// The batched front end: parallel grid decodes, sequential merge.
+	// Single-core it tracks BenchmarkReceiverProcessSteady; with spare CPUs
+	// the decode phase scales while results stay bit-identical.
+	c := testCodec(b)
+	ch := channel.MustNew(channel.DefaultConfig())
+	const batch = 4
+	caps := make([]*raster.Image, batch)
+	for i := range caps {
+		f, err := c.EncodeFrame(payloadFor(c, int64(i)), uint16(i), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caps[i], err = ch.Capture(f.Render())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rx := NewReceiver(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, err := range rx.IngestBatch(caps) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rx.Flush()
+		rx.Reset()
+	}
+}
+
 func BenchmarkAssemblePayload(b *testing.B) {
 	// RS + checksum only: the non-vision tail of the decoder.
 	c, capt := benchCapture(b)

@@ -76,6 +76,7 @@ type Codec struct {
 	rsc      *rs.Codec
 	msgSizes []int // data bytes per RS message within one frame
 	capacity int   // payload bytes per frame
+	locRows  []int // cached Geometry.LocatorRows() (per-cell hot path)
 
 	rec   obs.Recorder // never nil; obs.Nop() when unset
 	obsOn bool         // gates observation-only work on the hot path
@@ -113,6 +114,7 @@ func NewCodec(cfg Config) (*Codec, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	c := &Codec{cfg: cfg, rsc: rsc, rec: obs.OrNop(cfg.Recorder), obsOn: obs.Enabled(cfg.Recorder)}
+	c.locRows = cfg.Geometry.LocatorRows()
 
 	// Partition the frame's data area into RS messages. Full messages are
 	// 255 bytes; the remainder forms a short final message if it can hold

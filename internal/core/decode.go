@@ -105,18 +105,27 @@ func (c *Codec) DecodeGrid(img *raster.Image) (*GridDecode, error) {
 // the asymmetric corner trackers (green left, red right) reveal a
 // half-turn orientation, and the decode reruns on the rotated image.
 func (c *Codec) DecodeGridLoose(img *raster.Image) (*GridDecode, error) {
+	return c.decodeGridLooseScratch(img, nil)
+}
+
+// decodeGridLooseScratch is DecodeGridLoose threading an optional decode
+// scratch. With a scratch, the returned grid (and its cell tables) is
+// scratch-owned: valid only until the next decode using the same scratch.
+// The rotated retry may reuse the scratch because ErrNoCornerTrackers is
+// raised before any scratch-owned result is returned.
+func (c *Codec) decodeGridLooseScratch(img *raster.Image, sc *decodeScratch) (*GridDecode, error) {
 	c.rec.Inc(obs.MCoreCaptures, 1)
-	gd, err := c.decodeGridOriented(img)
+	gd, err := c.decodeGridOriented(img, sc)
 	if err != nil && errors.Is(err, ErrNoCornerTrackers) {
-		if gd2, err2 := c.decodeGridOriented(img.Rotate180()); err2 == nil {
+		if gd2, err2 := c.decodeGridOriented(img.Rotate180(), sc); err2 == nil {
 			return gd2, nil
 		}
 	}
 	return gd, err
 }
 
-func (c *Codec) decodeGridOriented(img *raster.Image) (*GridDecode, error) {
-	gd, _, _, err := c.decodeGridFix(img, c.newLadder())
+func (c *Codec) decodeGridOriented(img *raster.Image, sc *decodeScratch) (*GridDecode, error) {
+	gd, _, _, err := c.decodeGridFix(img, c.newLadder(), sc)
 	return gd, err
 }
 
@@ -127,28 +136,31 @@ func (c *Codec) decodeGridOriented(img *raster.Image) (*GridDecode, error) {
 // proactive μ-sweep when the extraction classifies more data cells black
 // than the erasure budget could ever absorb (a mis-estimated T_v is then
 // the prime suspect).
-func (c *Codec) decodeGridFix(img *raster.Image, lad *ladder) (*GridDecode, *detection, *locatorMap, error) {
+func (c *Codec) decodeGridFix(img *raster.Image, lad *ladder, sc *decodeScratch) (*GridDecode, *detection, *locatorMap, error) {
 	endDetect := c.rec.Span(obsSpanDetect)
-	det, err := c.detect(img)
+	det, err := c.detect(img, sc)
 	endDetect()
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	endLocate := c.rec.Span(obsSpanLocate)
-	lm, err := c.locateAll(img, det)
+	lm, err := c.locateAll(img, det, sc)
 	endLocate()
 	if err != nil {
 		if !errors.Is(err, ErrLocatorLost) || c.cfg.RecoveryErasuresOnly || !lad.tryAttempt(HypRescan) {
 			return nil, nil, nil, err
 		}
-		lm, err = c.locateAllMode(img, det, true)
+		lm, err = c.locateAllMode(img, det, true, sc)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		lad.win(HypRescan)
 	}
+	// One Sharpness pass serves the base extraction and every μ-sweep
+	// re-extraction of the same capture.
+	sharp := img.Sharpness()
 	endExtract := c.rec.Span(obsSpanExtract)
-	gd, err := c.extractGrid(img, det, lm)
+	gd, err := c.extractGrid(img, det, lm, sharp, sc)
 	endExtract()
 	if err != nil {
 		return gd, det, lm, err
@@ -161,7 +173,9 @@ func (c *Codec) decodeGridFix(img *raster.Image, lad *ladder) (*GridDecode, *det
 			}
 			det2 := *det
 			det2.tv = colorspace.TVForMu(det.vb, det.vo, cand.mu)
-			gd2, err2 := c.extractGrid(img, &det2, lm)
+			// sc stays out of re-extractions: gd may be scratch-owned, and a
+			// second scratch extraction would overwrite it mid-comparison.
+			gd2, err2 := c.extractGrid(img, &det2, lm, sharp, nil)
 			if err2 != nil {
 				continue
 			}
@@ -221,47 +235,78 @@ func (c *Codec) erasureOverflow(cells []colorspace.Color) bool {
 	return false
 }
 
+// sampleCell classifies the mean-filtered pixel under a grid cell's
+// capture-space center. A method rather than a closure: the decode hot
+// path calls it per cell, and a closure capturing img/cl/lm would escape
+// to the heap on every extraction.
+func (c *Codec) sampleCell(img *raster.Image, cl colorspace.Classifier, lm *locatorMap, row, col int) colorspace.Color {
+	p := c.cellCenter(lm, row, col)
+	return cl.ClassifyRGB(img.MeanFilterAt(int(p.X+0.5), int(p.Y+0.5)))
+}
+
 // extractGrid is the sampling/classification back half of the grid decode:
-// header strip, data cells and tracking bars, given a geometric fix.
-func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (*GridDecode, error) {
+// header strip, data cells and tracking bars, given a geometric fix. sharp
+// is the capture's precomputed focus metric (hoisted so μ-sweep
+// re-extractions of one capture share a single Sharpness pass). With a
+// scratch, the returned GridDecode and all its tables are scratch-owned.
+func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap, sharp float64, sc *decodeScratch) (*GridDecode, error) {
 	g := c.cfg.Geometry
 	cl := colorspace.NewClassifier(det.tv)
 
-	sample := func(row, col int) colorspace.Color {
-		p := c.cellCenter(lm, row, col)
-		return cl.ClassifyRGB(img.MeanFilterAt(int(p.X+0.5), int(p.Y+0.5)))
-	}
-
 	// Header strip.
 	hdrCells := g.HeaderCells()
-	strip := make([]colorspace.Color, len(hdrCells))
+	var strip []colorspace.Color
+	if sc != nil {
+		strip = grow(sc.strip, len(hdrCells))
+		sc.strip = strip
+	} else {
+		//lint:allow RB-P1 cold fallback: sc==nil only on the one-shot public API, never the receiver loop
+		strip = make([]colorspace.Color, len(hdrCells))
+	}
 	for i, cell := range hdrCells {
-		strip[i] = sample(cell.Row, cell.Col)
+		strip[i] = c.sampleCell(img, cl, lm, cell.Row, cell.Col)
 	}
 	hdr, hdrErr := header.DecodeColors(strip)
 
-	gd := &GridDecode{
+	dataCells := g.DataCells()
+	var gd *GridDecode
+	if sc != nil {
+		gd = &sc.gd
+	} else {
+		gd = &GridDecode{}
+	}
+	cells := grow(gd.Cells, len(dataCells))
+	barColors := grow(gd.BarColors, g.Rows())
+	barOK := grow(gd.BarOK, g.Rows())
+	var conf []float64
+	if c.cfg.RecoveryBudget > 0 {
+		conf = grow(gd.Conf, len(dataCells))
+	}
+	// Bar tables are written sparsely below; cells/conf are fully written.
+	clear(barColors)
+	clear(barOK)
+	*gd = GridDecode{
 		Header:        hdr,
 		HeaderOK:      hdrErr == nil,
-		Cells:         make([]colorspace.Color, len(g.DataCells())),
-		BarColors:     make([]colorspace.Color, g.Rows()),
-		BarOK:         make([]bool, g.Rows()),
+		Cells:         cells,
+		BarColors:     barColors,
+		BarOK:         barOK,
+		Conf:          conf,
 		TV:            det.tv,
 		LocatorMisses: lm.misses,
-		Sharpness:     img.Sharpness(),
+		Sharpness:     sharp,
 	}
 	if c.cfg.RecoveryBudget > 0 {
 		// Soft extraction: same colors (ClassifyRGBSoft's class is pinned
 		// bit-identical to ClassifyRGB) plus the per-cell confidence the
 		// recovery ladder ranks erasures by.
-		gd.Conf = make([]float64, len(g.DataCells()))
-		for i, cell := range g.DataCells() {
+		for i, cell := range dataCells {
 			p := c.cellCenter(lm, cell.Row, cell.Col)
 			gd.Cells[i], gd.Conf[i] = cl.ClassifyRGBSoft(img.MeanFilterAt(int(p.X+0.5), int(p.Y+0.5)))
 		}
 	} else {
-		for i, cell := range g.DataCells() {
-			gd.Cells[i] = sample(cell.Row, cell.Col)
+		for i, cell := range dataCells {
+			gd.Cells[i] = c.sampleCell(img, cl, lm, cell.Row, cell.Col)
 		}
 	}
 
@@ -297,8 +342,8 @@ func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (
 	// blend) or under heavy noise disagree and are left unowned — another
 	// capture supplies them.
 	for r := 0; r < g.Rows(); r++ {
-		left := sample(r, 0)
-		right := sample(r, g.Cols()-1)
+		left := c.sampleCell(img, cl, lm, r, 0)
+		right := c.sampleCell(img, cl, lm, r, g.Cols()-1)
 		if left == right && left.IsData() {
 			gd.BarColors[r] = left
 			gd.BarOK[r] = true
@@ -312,11 +357,11 @@ func (c *Codec) extractGrid(img *raster.Image, det *detection, lm *locatorMap) (
 // with Geometry.DataCells(). Used by the localization-error experiment
 // (paper Fig. 3/4) to compare against ground truth.
 func (c *Codec) LocateCenters(img *raster.Image) ([]geometry.Point, error) {
-	det, err := c.detect(img)
+	det, err := c.detect(img, nil)
 	if err != nil {
 		return nil, err
 	}
-	lm, err := c.locateAll(img, det)
+	lm, err := c.locateAll(img, det, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -354,6 +399,15 @@ func (c *Codec) packStream(cells []colorspace.Color) (stream []byte, suspect []b
 	}
 	stream = make([]byte, g.DataCapacityBytes())
 	suspect = make([]bool, len(stream))
+	c.packStreamInto(cells, stream, suspect)
+	return stream, suspect, nil
+}
+
+// packStreamInto is packStream writing into caller-provided buffers (both
+// DataCapacityBytes long; cleared here).
+func (c *Codec) packStreamInto(cells []colorspace.Color, stream []byte, suspect []bool) {
+	clear(stream)
+	clear(suspect)
 	for i, col := range cells {
 		if i/4 >= len(stream) {
 			break
@@ -366,7 +420,6 @@ func (c *Codec) packStream(cells []colorspace.Color) (stream []byte, suspect []b
 		}
 		stream[i/4] |= bits << uint(6-2*(i%4))
 	}
-	return stream, suspect, nil
 }
 
 // DecodeFrame decodes a single clean (unmixed) capture end to end. For
@@ -389,10 +442,10 @@ func (c *Codec) DecodeFrame(img *raster.Image) (header.Header, []byte, error) {
 func (c *Codec) DecodeFrameRecover(img *raster.Image) (header.Header, []byte, *RecoveryTrace, error) {
 	c.rec.Inc(obs.MCoreCaptures, 1)
 	lad := c.newLadder()
-	gd, det, lm, err := c.decodeGridFix(img, lad)
+	gd, det, lm, err := c.decodeGridFix(img, lad, nil)
 	if err != nil && errors.Is(err, ErrNoCornerTrackers) {
 		rot := img.Rotate180()
-		if gd2, det2, lm2, err2 := c.decodeGridFix(rot, lad); err2 == nil {
+		if gd2, det2, lm2, err2 := c.decodeGridFix(rot, lad, nil); err2 == nil {
 			gd, det, lm, err = gd2, det2, lm2, nil
 			img = rot
 		}
@@ -417,7 +470,7 @@ func (c *Codec) DecodeFrameRecover(img *raster.Image) (header.Header, []byte, *R
 			}
 			det2 := *det
 			det2.tv = colorspace.TVForMu(det.vb, det.vo, cand.mu)
-			gd2, err2 := c.extractGrid(img, &det2, lm)
+			gd2, err2 := c.extractGrid(img, &det2, lm, gd.Sharpness, nil)
 			if err2 != nil {
 				continue
 			}

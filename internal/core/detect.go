@@ -32,9 +32,15 @@ const tvSamplesPerRegion = 64
 
 // estimateTV implements the paper's brightness assessment: divide the
 // capture into four regions, sample N pixels per region, and combine the
-// black and non-black mean values with μ (Eq. 2).
-func estimateTV(img *raster.Image) (tv, vb, vo float64, ok bool) {
-	values := make([]float64, 0, 4*tvSamplesPerRegion)
+// black and non-black mean values with μ (Eq. 2). sc (optional) supplies
+// the sample buffer.
+func estimateTV(img *raster.Image, sc *decodeScratch) (tv, vb, vo float64, ok bool) {
+	var values []float64
+	if sc != nil {
+		values = grow(sc.tvValues, 4*tvSamplesPerRegion)[:0]
+	} else {
+		values = make([]float64, 0, 4*tvSamplesPerRegion)
+	}
 	halfW, halfH := img.W/2, img.H/2
 	regions := [4][2]int{{0, 0}, {halfW, 0}, {0, halfH}, {halfW, halfH}}
 	// Deterministic low-discrepancy sampling: an 8x8 lattice per region.
@@ -44,9 +50,14 @@ func estimateTV(img *raster.Image) (tv, vb, vo float64, ok bool) {
 			for sx := 0; sx < side; sx++ {
 				x := reg[0] + (2*sx+1)*halfW/(2*side)
 				y := reg[1] + (2*sy+1)*halfH/(2*side)
-				values = append(values, img.At(x, y).ToHSV().V)
+				// Value() is ToHSV().V without the rest of the conversion
+				// (bit-identical).
+				values = append(values, img.At(x, y).Value())
 			}
 		}
+	}
+	if sc != nil {
+		sc.tvValues = values
 	}
 	vb, vo, ok = colorspace.EstimateTVClusters(values)
 	if !ok {
@@ -62,17 +73,28 @@ const detectDownsample = 2
 
 // detect runs brightness assessment and corner-tracker detection on a
 // capture. It returns ErrNoCornerTrackers when either tracker is missing
-// or their mutual position is implausible.
-func (c *Codec) detect(img *raster.Image) (*detection, error) {
-	tv, vb, vo, tvOK := estimateTV(img)
+// or their mutual position is implausible. With a scratch, the returned
+// detection is scratch-owned.
+func (c *Codec) detect(img *raster.Image, sc *decodeScratch) (*detection, error) {
+	tv, vb, vo, tvOK := estimateTV(img, sc)
 	cl := colorspace.NewClassifier(tv)
 
 	if img.W < 8 || img.H < 8 {
 		return nil, fmt.Errorf("core detect: capture %dx%d too small", img.W, img.H)
 	}
-	classMap, mw, mh := vision.ClassifyMap(img, cl, detectDownsample)
+	var classMap []colorspace.Color
+	var mw, mh int
+	var blobs []vision.Blob
+	if sc != nil {
+		classMap, mw, mh = vision.ClassifyMapInto(sc.classMap, img, cl, detectDownsample)
+		sc.classMap = classMap
+		blobs = sc.blobs.BlackBlobs(classMap, mw, mh)
+	} else {
+		classMap, mw, mh = vision.ClassifyMap(img, cl, detectDownsample)
+		blobs = vision.BlackBlobs(classMap, mw, mh)
+	}
 
-	left, right, err := findTrackers(img, classMap, mw, mh, cl)
+	left, right, err := findTrackers(img, blobs, mw, mh, cl)
 	if err != nil {
 		return nil, err
 	}
@@ -86,18 +108,23 @@ func (c *Codec) detect(img *raster.Image) (*detection, error) {
 	if bst < 2 {
 		return nil, fmt.Errorf("%w: implausible block size %.2f px", ErrNoCornerTrackers, bst)
 	}
-	return &detection{ctLeft: left, ctRight: right, bst: bst, tv: tv, vb: vb, vo: vo, tvOK: tvOK}, nil
+	var det *detection
+	if sc != nil {
+		det = &sc.det
+	} else {
+		det = &detection{}
+	}
+	*det = detection{ctLeft: left, ctRight: right, bst: bst, tv: tv, vb: vb, vo: vo, tvOK: tvOK}
+	return det, nil
 }
 
-// findTrackers locates both corner trackers. It enumerates black blobs on
-// the classified map (each a single block: a locator or a CT center),
-// then verifies each blob's 8-neighbor ring: a blob whose eight
-// surrounding blocks are (almost) all green is the left tracker, all red
-// the right one. Among multiple candidates the strongest ring vote wins.
-// The returned points are K-means-refined centers of the black blocks.
-func findTrackers(img *raster.Image, classMap []colorspace.Color, mw, mh int, cl colorspace.Classifier) (left, right geometry.Point, err error) {
-	blobs := vision.BlackBlobs(classMap, mw, mh)
-
+// findTrackers locates both corner trackers among the black blobs of the
+// classified map (each a single block: a locator or a CT center) by
+// verifying each blob's 8-neighbor ring: a blob whose eight surrounding
+// blocks are (almost) all green is the left tracker, all red the right
+// one. Among multiple candidates the strongest ring vote wins. The
+// returned points are K-means-refined centers of the black blocks.
+func findTrackers(img *raster.Image, blobs []vision.Blob, mw, mh int, cl colorspace.Classifier) (left, right geometry.Point, err error) {
 	type candidate struct {
 		center geometry.Point
 		votes  int
@@ -135,7 +162,7 @@ func findTrackers(img *raster.Image, classMap []colorspace.Color, mw, mh int, cl
 		const needed = 6
 		for _, mult := range [...]float64{1.05, 1.5, 2.0} {
 			dx, dy := base*mult, base*mult
-			votes := vision.RingVotes(img, cl, px, dx, dy)
+			votes := vision.RingVoteCounts(img, cl, px, dx, dy)
 			if g := votes[colorspace.Green]; g >= needed && g > bestL.votes {
 				center, _ := vision.KMeansCorrect(img, cl, px, dx)
 				bestL = candidate{center: center, votes: g}

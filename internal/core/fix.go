@@ -20,11 +20,11 @@ type Fix struct {
 // FixImage runs brightness assessment, corner-tracker detection and
 // progressive locator localization on a capture.
 func (c *Codec) FixImage(img *raster.Image) (*Fix, error) {
-	det, err := c.detect(img)
+	det, err := c.detect(img, nil)
 	if err != nil {
 		return nil, err
 	}
-	lm, err := c.locateAll(img, det)
+	lm, err := c.locateAll(img, det, nil)
 	if err != nil {
 		return nil, err
 	}

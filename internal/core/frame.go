@@ -9,6 +9,7 @@ import (
 	"rainbar/internal/crc"
 	"rainbar/internal/obs"
 	"rainbar/internal/raster"
+	"rainbar/internal/rs"
 )
 
 // Frame is one fully laid-out RainBar barcode: a color per grid cell.
@@ -199,6 +200,92 @@ func (c *Codec) legacyPlans(suspect []bool) planFunc {
 		// The erasure guesses may themselves be wrong; retry blind.
 		return [][]int{erasures, nil}
 	}
+}
+
+// asmScratch owns the payload-assembly intermediates of the recovery-off
+// hot path: the packed stream and suspect map, the per-message erasure
+// list, the RS working buffers and the assembled payload.
+type asmScratch struct {
+	stream   []byte
+	suspect  []bool
+	erasures []int
+	payload  []byte
+	rs       rs.Scratch
+}
+
+// assemblePayloadScratch is AssemblePayload drawing every intermediate
+// from as — bit-identical results, no steady-state allocation. The
+// returned payload aliases as.payload: copy it before the next assembly
+// with the same scratch.
+func (c *Codec) assemblePayloadScratch(cells []colorspace.Color, hdr header.Header, as *asmScratch) ([]byte, error) {
+	g := c.cfg.Geometry
+	if len(cells) != len(g.DataCells()) {
+		return nil, fmt.Errorf("core: %d cells, want %d", len(cells), len(g.DataCells()))
+	}
+	as.stream = grow(as.stream, g.DataCapacityBytes())
+	as.suspect = grow(as.suspect, g.DataCapacityBytes())
+	c.packStreamInto(cells, as.stream, as.suspect)
+	return c.decodeLegacyScratch(as.stream, as.suspect, hdr.FrameChecksum, as)
+}
+
+// decodeLegacyScratch is decodePayload's legacy-plan cascade (every
+// black-suspect byte erased when the count fits the parity budget, then a
+// blind retry) inlined over the scratch buffers. Plan order, correction
+// counters and error values match decodeWithPlans(c.legacyPlans(suspect))
+// bit for bit.
+func (c *Codec) decodeLegacyScratch(stream []byte, suspect []bool, want uint16, as *asmScratch) ([]byte, error) {
+	endCorrect := c.rec.Span(obsSpanCorrect)
+	var corrected, erased int64
+	defer func() {
+		endCorrect()
+		if corrected > 0 {
+			c.rec.Inc(obs.MCoreRSErrorsCorrected, corrected)
+		}
+		if erased > 0 {
+			c.rec.Inc(obs.MCoreRSErasures, erased)
+		}
+	}()
+
+	if cap(as.payload) < c.capacity {
+		as.payload = make([]byte, 0, c.capacity)
+	}
+	payload := as.payload[:0]
+	off := 0
+	for _, k := range c.msgSizes {
+		n := k + c.cfg.RSParity
+		erasures := as.erasures[:0]
+		for j := 0; j < n; j++ {
+			if suspect[off+j] {
+				erasures = append(erasures, j)
+			}
+		}
+		as.erasures = erasures
+		plan := erasures
+		if len(erasures) == 0 || len(erasures) > c.cfg.RSParity-2 {
+			plan = nil
+		}
+		data, fixed, err := c.rsc.DecodeCountedScratch(stream[off:off+n], plan, &as.rs)
+		if err != nil && plan != nil {
+			// The erasure guesses may themselves be wrong; retry blind.
+			plan = nil
+			data, fixed, err = c.rsc.DecodeCountedScratch(stream[off:off+n], nil, &as.rs)
+		}
+		if err != nil {
+			as.payload = payload
+			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		corrected += int64(fixed)
+		erased += int64(len(plan))
+		// data aliases the RS scratch; append copies it out before the next
+		// message reuses the buffer.
+		payload = append(payload, data...)
+		off += n
+	}
+	as.payload = payload
+	if crc.Sum16(payload) != want {
+		return nil, fmt.Errorf("%w: frame checksum mismatch", ErrBadFrame)
+	}
+	return payload, nil
 }
 
 // decodeWithPlans is the shared RS decode cascade: for each message, try

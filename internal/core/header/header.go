@@ -147,7 +147,7 @@ func DecodeColors(strip []colorspace.Color) (Header, error) {
 		if !ok {
 			return Header{}, ErrCorrupt
 		}
-		copy(wire[span[0]:span[1]], bytes)
+		copy(wire[span[0]:span[1]], bytes[:])
 	}
 	return Decode(wire)
 }
@@ -157,7 +157,7 @@ func DecodeColors(strip []colorspace.Color) (Header, error) {
 // blocks per unit is the common failure at low-redundancy strip widths;
 // the CRC-8 leaves a ~0.4% false-accept chance per trial, which the
 // receiver's tracking-bar consistency check and header voting absorb.
-func decodeUnit(strip []colorspace.Color, nCopies, unit int) ([]byte, bool) {
+func decodeUnit(strip []colorspace.Color, nCopies, unit int) ([3]byte, bool) {
 	seg := func(c int) []colorspace.Color {
 		return strip[c*Blocks+unit*unitBlocks : c*Blocks+(unit+1)*unitBlocks]
 	}
@@ -166,7 +166,8 @@ func decodeUnit(strip []colorspace.Color, nCopies, unit int) ([]byte, bool) {
 			return b, true
 		}
 	}
-	repaired := make([]colorspace.Color, unitBlocks)
+	var repairBuf [unitBlocks]colorspace.Color
+	repaired := repairBuf[:]
 	// Single-symbol repair across all copies first: more likely correct
 	// than any two-symbol combination.
 	for c := 0; c < nCopies; c++ {
@@ -208,16 +209,17 @@ func decodeUnit(strip []colorspace.Color, nCopies, unit int) ([]byte, bool) {
 			}
 		}
 	}
-	return nil, false
+	return [3]byte{}, false
 }
 
 // packUnit packs 12 blocks into the unit's 3 bytes; false when any block
-// is non-data (black misread).
-func packUnit(seg []colorspace.Color) ([]byte, bool) {
-	b := make([]byte, 3)
+// is non-data (black misread). Returning a value array keeps the per-CRC
+// trial packing allocation-free.
+func packUnit(seg []colorspace.Color) ([3]byte, bool) {
+	var b [3]byte
 	for i, c := range seg {
 		if !c.IsData() {
-			return nil, false
+			return [3]byte{}, false
 		}
 		b[i/4] |= c.Bits() << uint(6-2*(i%4))
 	}

@@ -25,8 +25,9 @@ type locatorMap struct {
 // columns. The left and right columns are seeded by the corner-tracker
 // centers (the CT center is the first code locator); the middle column's
 // first locator is searched around the midpoint of the two CT centers.
-func (c *Codec) locateAll(img *raster.Image, det *detection) (*locatorMap, error) {
-	return c.locateAllMode(img, det, false)
+// With a scratch, the returned locatorMap is scratch-owned.
+func (c *Codec) locateAll(img *raster.Image, det *detection, sc *decodeScratch) (*locatorMap, error) {
+	return c.locateAllMode(img, det, false, sc)
 }
 
 // locateAllMode is locateAll with the recovery ladder's rescue switch: in
@@ -34,17 +35,27 @@ func (c *Codec) locateAll(img *raster.Image, det *detection) (*locatorMap, error
 // taller vertical fan) and, when even that fails, the middle column is
 // synthesized COBRA-style from the outer-column midpoints — a degraded
 // but usable fix — instead of reporting ErrLocatorLost.
-func (c *Codec) locateAllMode(img *raster.Image, det *detection, rescue bool) (*locatorMap, error) {
+func (c *Codec) locateAllMode(img *raster.Image, det *detection, rescue bool, sc *decodeScratch) (*locatorMap, error) {
 	cl := colorspace.NewClassifier(det.tv)
-	n := len(c.cfg.Geometry.LocatorRows())
+	n := len(c.locRows)
 
-	lm := &locatorMap{}
-	lm.left, lm.leftOK = c.locateColumn(img, cl, det.ctLeft, det.bst, n)
-	lm.right, lm.rgOK = c.locateColumn(img, cl, det.ctRight, det.bst, n)
+	var lm *locatorMap
+	if sc != nil {
+		lm = &sc.lm
+	} else {
+		lm = &locatorMap{}
+	}
+	lm.left = grow(lm.left, n)
+	lm.leftOK = grow(lm.leftOK, n)
+	lm.right = grow(lm.right, n)
+	lm.rgOK = grow(lm.rgOK, n)
+	lm.mid = grow(lm.mid, n)
+	lm.midOK = grow(lm.midOK, n)
+	lm.misses = 0
+	c.locateColumn(img, cl, det.ctLeft, det.bst, lm.left, lm.leftOK)
+	c.locateColumn(img, cl, det.ctRight, det.bst, lm.right, lm.rgOK)
 
 	synthMid := func(ok bool) {
-		lm.mid = make([]geometry.Point, n)
-		lm.midOK = make([]bool, n)
 		for i := 0; i < n; i++ {
 			lm.mid[i] = geometry.Mid(lm.left[i], lm.right[i])
 			lm.midOK[i] = ok
@@ -64,7 +75,7 @@ func (c *Codec) locateAllMode(img *raster.Image, det *detection, rescue bool) (*
 	first, err := c.findFirstMiddle(img, cl, det, maxOff, dyFan)
 	switch {
 	case err == nil:
-		lm.mid, lm.midOK = c.locateColumn(img, cl, first, det.bst, n)
+		c.locateColumn(img, cl, first, det.bst, lm.mid, lm.midOK)
 	case rescue:
 		// Last resort: midpoint synthesis, every row counted as a miss.
 		synthMid(false)
@@ -106,15 +117,16 @@ func (c *Codec) locateAllMode(img *raster.Image, det *detection, rescue bool) (*
 	return lm, nil
 }
 
-// locateColumn walks one locator column downward. Each locator is
-// predicted from the running step vector (two blocks below the previous
-// locator, following the column's local direction) and corrected with the
-// K-means location-correction iteration; a window with no black pixels
-// leaves the prediction in place (dead reckoning) so one blurred locator
-// does not derail the rest of the column.
-func (c *Codec) locateColumn(img *raster.Image, cl colorspace.Classifier, start geometry.Point, bst float64, n int) ([]geometry.Point, []bool) {
-	pts := make([]geometry.Point, n)
-	ok := make([]bool, n)
+// locateColumn walks one locator column downward, writing the n located
+// points into pts and confirmation flags into ok (both len n, provided by
+// the caller). Each locator is predicted from the running step vector (two
+// blocks below the previous locator, following the column's local
+// direction) and corrected with the K-means location-correction iteration;
+// a window with no black pixels leaves the prediction in place (dead
+// reckoning) so one blurred locator does not derail the rest of the column.
+func (c *Codec) locateColumn(img *raster.Image, cl colorspace.Classifier, start geometry.Point, bst float64, pts []geometry.Point, ok []bool) {
+	n := len(pts)
+	clear(ok)
 
 	pts[0], _ = vision.KMeansCorrect(img, cl, start, bst)
 	ok[0] = true
@@ -126,7 +138,7 @@ func (c *Codec) locateColumn(img *raster.Image, cl colorspace.Classifier, start 
 		for i := 1; i < n; i++ {
 			pts[i] = pts[i-1].Add(step)
 		}
-		return pts, ok
+		return
 	}
 
 	for i := 1; i < n; i++ {
@@ -147,7 +159,6 @@ func (c *Codec) locateColumn(img *raster.Image, cl colorspace.Classifier, start 
 			pts[i] = pred
 		}
 	}
-	return pts, ok
 }
 
 // findFirstMiddle implements §III-E's search for the first middle-column
@@ -227,8 +238,7 @@ func (c *Codec) findFirstMiddle(img *raster.Image, cl colorspace.Classifier, det
 // the left, middle and right locator columns at that row, interpolating
 // between (or extrapolating beyond) the located locator rows.
 func (c *Codec) anchors(lm *locatorMap, gridRow int) (l, m, r geometry.Point) {
-	rows := c.cfg.Geometry.LocatorRows()
-	t, i0, i1 := bracket(rows, gridRow)
+	t, i0, i1 := bracket(c.locRows, gridRow)
 	l = geometry.Lerp(lm.left[i0], lm.left[i1], t)
 	m = geometry.Lerp(lm.mid[i0], lm.mid[i1], t)
 	r = geometry.Lerp(lm.right[i0], lm.right[i1], t)

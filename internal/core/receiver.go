@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rainbar/internal/colorspace"
 	"rainbar/internal/core/header"
@@ -39,6 +41,17 @@ type Receiver struct {
 	// is on); see RecoveryStats.
 	ladderAttempts int
 	ladderWins     map[string]int
+
+	// Steady-state scratch: row-attribution planes, the voted-cell buffer
+	// and the payload-assembly intermediates, all reused across captures.
+	// pfFree/dfFree recycle frame accumulators and decoded frames returned
+	// to the pool by Reset.
+	owners    []int
+	weight    []float64
+	voteCells []colorspace.Color
+	asm       asmScratch
+	pfFree    []*partialFrame
+	dfFree    []*DecodedFrame
 }
 
 // partialFrame accumulates rows of one logical frame across captures.
@@ -75,7 +88,13 @@ func (pf *partialFrame) vote(i int, c colorspace.Color, conf, weight float64) {
 
 // cells materializes the majority color per cell (White where no votes).
 func (pf *partialFrame) cellsByVote() []colorspace.Color {
-	out := make([]colorspace.Color, len(pf.cellVotes))
+	return pf.cellsByVoteInto(nil)
+}
+
+// cellsByVoteInto is cellsByVote writing into dst when its capacity
+// suffices.
+func (pf *partialFrame) cellsByVoteInto(dst []colorspace.Color) []colorspace.Color {
+	out := grow(dst, len(pf.cellVotes))
 	for i := range pf.cellVotes {
 		best := colorspace.White
 		bestW := 0.0
@@ -193,7 +212,11 @@ func (rx *Receiver) assemble(pf *partialFrame, hdr header.Header) ([]byte, []col
 		rx.noteTrace(trace)
 		return payload, cells, conf, err
 	}
-	payload, err := rx.codec.AssemblePayload(pf.cellsByVote(), hdr)
+	// Recovery-off hot path: voted cells and every assembly intermediate
+	// come from receiver-owned scratch. The returned payload aliases that
+	// scratch — finish copies it into frame-owned storage.
+	rx.voteCells = pf.cellsByVoteInto(rx.voteCells)
+	payload, err := rx.codec.assemblePayloadScratch(rx.voteCells, hdr, &rx.asm)
 	return payload, nil, nil, err
 }
 
@@ -208,8 +231,94 @@ func (rx *Receiver) Ingest(img *raster.Image) error {
 	return err
 }
 
+// IngestBatch ingests a batch of captures. The per-capture grid decodes —
+// pure functions of the image and codec — run in parallel; the stateful
+// merge into the receiver then runs strictly sequentially in input order,
+// so the receiver's final state (votes, inferred sequences, completed
+// frames, ladder stats) is bit-identical to calling Ingest on each capture
+// in order. The returned slice holds Ingest's error per capture. With a
+// single worker the batch degrades to the sequential loop. IngestBatch
+// itself is not safe for concurrent use (same contract as Ingest).
+func (rx *Receiver) IngestBatch(imgs []*raster.Image) []error {
+	errs := make([]error, len(imgs))
+	workers := min(runtime.GOMAXPROCS(0), len(imgs))
+	if workers <= 1 {
+		for i, img := range imgs {
+			errs[i] = rx.Ingest(img)
+		}
+		return errs
+	}
+	type slot struct {
+		sc  *decodeScratch
+		gd  *GridDecode
+		err error
+	}
+	window := 2 * workers
+	if window > len(imgs) {
+		window = len(imgs)
+	}
+	slots := make([]slot, window)
+	for i := range slots {
+		slots[i].sc = getScratch()
+	}
+	var wg sync.WaitGroup
+	for base := 0; base < len(imgs); base += window {
+		chunk := imgs[base:min(base+window, len(imgs))]
+		for i := range chunk {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				slots[i].gd, slots[i].err = rx.codec.decodeGridLooseScratch(chunk[i], slots[i].sc)
+			}(i)
+		}
+		wg.Wait()
+		for i := range chunk {
+			err := rx.ingestDecoded(slots[i].gd, slots[i].err)
+			rx.codec.recordFailure(err)
+			errs[base+i] = err
+		}
+	}
+	for i := range slots {
+		putScratch(slots[i].sc)
+	}
+	return errs
+}
+
+// Reset returns the receiver to its initial empty state while keeping
+// every internal buffer, so one long-lived receiver can process stream
+// after stream without allocating. Resetting recycles all partial and
+// completed frames: any DecodedFrame previously returned by Frames, Frame
+// or Flush (payload included) is invalidated and must not be used
+// afterwards. Callers that retain payloads across streams should keep
+// using a fresh Receiver per stream instead.
+func (rx *Receiver) Reset() {
+	for seq, pf := range rx.partial {
+		rx.retire(seq, pf)
+	}
+	//lint:ordered dfFree is an unordered freelist: recycled DecodedFrames are fully overwritten before reuse, so pop order never reaches any output
+	for seq, df := range rx.done {
+		rx.dfFree = append(rx.dfFree, df)
+		delete(rx.done, seq)
+	}
+	rx.lastTop, rx.lastTopSet = 0, false
+	rx.ladderAttempts = 0
+	clear(rx.ladderWins)
+}
+
 func (rx *Receiver) ingest(img *raster.Image) error {
-	gd, err := rx.codec.DecodeGridLoose(img)
+	sc := getScratch()
+	gd, err := rx.codec.decodeGridLooseScratch(img, sc)
+	err = rx.ingestDecoded(gd, err)
+	putScratch(sc)
+	return err
+}
+
+// ingestDecoded folds one capture's grid decode (or its failure) into the
+// receiver state. gd may be scratch-owned; it is fully consumed before
+// return. Splitting decode from merge is what lets IngestBatch run the
+// pure decodes in parallel while keeping this merge — the only part that
+// touches receiver state — strictly sequential.
+func (rx *Receiver) ingestDecoded(gd *GridDecode, err error) error {
 	if err != nil {
 		return err
 	}
@@ -273,35 +382,25 @@ func (rx *Receiver) ingest(img *raster.Image) error {
 	// every row within blendGuard of an owner transition (or adjacent to
 	// an unreadable-bar row) is rejected; other captures, whose boundary
 	// sits elsewhere, supply those rows cleanly.
-	owners := make([]int, g.Rows())
+	rx.owners = grow(rx.owners, g.Rows())
+	owners := rx.owners
 	for r := range owners {
 		owners[r] = gd.RowOwnerFor(r, seqTop)
 	}
 	blendGuard := g.Rows()/6 + 1
-	// suspectWeight is the vote discount for blend-adjacent rows: low
-	// enough that a single clean capture of the same row always outvotes
-	// them, high enough that they still beat nothing when they are a
-	// row's only source.
-	const suspectWeight = 0.05
-	weight := make([]float64, g.Rows())
+	rx.weight = grow(rx.weight, g.Rows())
+	weight := rx.weight
 	for r := range weight {
 		weight[r] = 1
-	}
-	mark := func(r, span int) {
-		for d := -span; d <= span; d++ {
-			if r+d >= 0 && r+d < g.Rows() {
-				weight[r+d] = suspectWeight
-			}
-		}
 	}
 	prevOwner := -2
 	for r, o := range owners {
 		if o < 0 {
-			mark(r, 1)
+			markSuspect(weight, r, 1)
 			continue
 		}
 		if prevOwner >= 0 && o != prevOwner {
-			mark(r, blendGuard)
+			markSuspect(weight, r, blendGuard)
 		}
 		prevOwner = o
 	}
@@ -338,6 +437,20 @@ func (rx *Receiver) ingest(img *raster.Image) error {
 	rx.tryComplete(seqTop)
 	rx.tryComplete(seqBot)
 	return nil
+}
+
+// suspectWeight is the vote discount for blend-adjacent rows: low enough
+// that a single clean capture of the same row always outvotes them, high
+// enough that they still beat nothing when they are a row's only source.
+const suspectWeight = 0.05
+
+// markSuspect discounts the vote weight of rows r-span..r+span.
+func markSuspect(weight []float64, r, span int) {
+	for d := -span; d <= span; d++ {
+		if r+d >= 0 && r+d < len(weight) {
+			weight[r+d] = suspectWeight
+		}
+	}
 }
 
 // badRows counts rows with tracking bars inconsistent with the given
@@ -410,8 +523,8 @@ func (rx *Receiver) ingestWholeFrame(gd *GridDecode) {
 	payload, _, _, err := rx.assemble(pf, hdr)
 	if err == nil {
 		rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
-		rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
-		delete(rx.partial, seq)
+		rx.finish(seq, hdr, payload, nil, nil, nil)
+		rx.retire(seq, pf)
 	}
 }
 
@@ -420,16 +533,62 @@ func (rx *Receiver) getPartial(seq uint16) *partialFrame {
 		return pf
 	}
 	g := rx.codec.cfg.Geometry
-	pf := &partialFrame{
-		hdrVotes:  make(map[header.Header]int),
-		cellVotes: make([][colorspace.NumDataColors]float64, len(g.DataCells())),
-		rowFilled: make([]bool, g.Rows()),
-	}
-	if rx.codec.cfg.RecoveryBudget > 0 {
-		pf.confVotes = make([][colorspace.NumDataColors]float64, len(g.DataCells()))
+	var pf *partialFrame
+	if n := len(rx.pfFree); n > 0 {
+		pf = rx.pfFree[n-1]
+		rx.pfFree = rx.pfFree[:n-1]
+		clear(pf.hdrVotes)
+		pf.cellVotes = grow(pf.cellVotes, len(g.DataCells()))
+		clear(pf.cellVotes)
+		pf.rowFilled = grow(pf.rowFilled, g.Rows())
+		clear(pf.rowFilled)
+		if rx.codec.cfg.RecoveryBudget > 0 {
+			pf.confVotes = grow(pf.confVotes, len(g.DataCells()))
+			clear(pf.confVotes)
+		} else {
+			pf.confVotes = nil
+		}
+	} else {
+		pf = &partialFrame{
+			hdrVotes:  make(map[header.Header]int),
+			cellVotes: make([][colorspace.NumDataColors]float64, len(g.DataCells())),
+			rowFilled: make([]bool, g.Rows()),
+		}
+		if rx.codec.cfg.RecoveryBudget > 0 {
+			pf.confVotes = make([][colorspace.NumDataColors]float64, len(g.DataCells()))
+		}
 	}
 	rx.partial[seq] = pf
 	return pf
+}
+
+// finish records seq as decoded, drawing the DecodedFrame from the
+// freelist. payload may alias assembly scratch: it is copied into
+// frame-owned storage. cells and conf are stored only alongside an error
+// (the cross-round soft table; both are frame-owned already).
+func (rx *Receiver) finish(seq uint16, hdr header.Header, payload []byte, cells []colorspace.Color, conf []float64, err error) {
+	var df *DecodedFrame
+	if n := len(rx.dfFree); n > 0 {
+		df = rx.dfFree[n-1]
+		rx.dfFree = rx.dfFree[:n-1]
+	} else {
+		df = &DecodedFrame{}
+	}
+	buf := df.Payload
+	*df = DecodedFrame{Header: hdr, Err: err}
+	if payload != nil {
+		df.Payload = append(buf[:0], payload...)
+	}
+	if err != nil {
+		df.Cells, df.Conf = cells, conf
+	}
+	rx.done[seq] = df
+}
+
+// retire recycles a completed partial frame's accumulators.
+func (rx *Receiver) retire(seq uint16, pf *partialFrame) {
+	delete(rx.partial, seq)
+	rx.pfFree = append(rx.pfFree, pf)
 }
 
 // tryComplete decodes a partial frame once every data row has been seen
@@ -458,8 +617,8 @@ func (rx *Receiver) tryComplete(seq uint16) {
 		return
 	}
 	rx.codec.rec.Inc(obs.MCoreFramesDecoded, 1)
-	rx.done[seq] = &DecodedFrame{Header: hdr, Payload: payload}
-	delete(rx.partial, seq)
+	rx.finish(seq, hdr, payload, nil, nil, nil)
+	rx.retire(seq, pf)
 }
 
 // Flush force-decodes every partial frame that has a header, even with
@@ -480,14 +639,11 @@ func (rx *Receiver) Flush() {
 		} else {
 			rx.codec.recordFailure(err)
 		}
-		df := &DecodedFrame{Header: hdr, Payload: payload, Err: err}
-		if err != nil {
-			// Keep the soft table: the transport can fuse it with the
-			// retransmission round's captures (cross-round combining).
-			df.Cells, df.Conf = cells, conf
-		}
-		rx.done[seq] = df
-		delete(rx.partial, seq)
+		// On failure the soft table (cells, conf) is kept: the transport can
+		// fuse it with the retransmission round's captures (cross-round
+		// combining).
+		rx.finish(seq, hdr, payload, cells, conf, err)
+		rx.retire(seq, pf)
 	}
 }
 

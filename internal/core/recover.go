@@ -65,8 +65,14 @@ type ladder struct {
 	trace  RecoveryTrace
 }
 
-// newLadder allocates a ladder carrying the configured budget.
+// newLadder allocates a ladder carrying the configured budget. With
+// recovery off it returns nil — every ladder method accepts a nil
+// receiver and refuses attempts — so the hot path never allocates for a
+// ladder that could not run.
 func (c *Codec) newLadder() *ladder {
+	if c.cfg.RecoveryBudget <= 0 {
+		return nil
+	}
 	return &ladder{c: c, budget: c.cfg.RecoveryBudget}
 }
 

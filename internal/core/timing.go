@@ -30,21 +30,21 @@ func (s StageTimings) Total() time.Duration {
 // use the wall clock and are only meaningful relative to each other.
 func (c *Codec) DecodeFrameTimed(img *raster.Image) (payload []byte, timings StageTimings, err error) {
 	t0 := time.Now()
-	det, err := c.detect(img)
+	det, err := c.detect(img, nil)
 	timings.Detect = time.Since(t0)
 	if err != nil {
 		return nil, timings, err
 	}
 
 	t1 := time.Now()
-	lm, err := c.locateAll(img, det)
+	lm, err := c.locateAll(img, det, nil)
 	timings.Locate = time.Since(t1)
 	if err != nil {
 		return nil, timings, err
 	}
 
 	t2 := time.Now()
-	gd, err := c.extractGrid(img, det, lm)
+	gd, err := c.extractGrid(img, det, lm, img.Sharpness(), nil)
 	timings.Extract = time.Since(t2)
 	if err != nil {
 		return nil, timings, err

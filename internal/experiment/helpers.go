@@ -70,9 +70,13 @@ func runStreamSync(o Options, fps float64, disableSync bool, seed int64) (float6
 	}
 	rx := core.NewReceiver(codec)
 	rx.DisableSync = disableSync
+	imgs := make([]*raster.Image, len(caps))
 	for i := range caps {
-		_ = rx.Ingest(caps[i].Image)
+		imgs[i] = caps[i].Image
 	}
+	// Batched ingest: grid decodes fan out across cores, merge order stays
+	// capture order, so results are bit-identical to sequential Ingest.
+	_ = rx.IngestBatch(imgs)
 	rx.Flush()
 
 	recovered := 0

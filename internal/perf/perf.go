@@ -1,0 +1,400 @@
+// Package perf runs the decode-path kernel benchmarks programmatically and
+// serializes the results as a schema'd JSON snapshot. The repo commits one
+// snapshot per perf-focused PR as BENCH_<n>.json (see scripts/bench.sh), so
+// the performance trajectory is data the next change can be compared
+// against, not prose in CHANGES.md.
+//
+// The kernel set mirrors the hot decode path: classification
+// (ClassifyRGB/ClassifyRGBSoft/ToHSV), sampling (MeanFilterAt, Sharpness),
+// the per-capture pipeline (FixImage, DecodeGrid, DecodeFrame,
+// AssemblePayload) and the receiver loop (fresh-receiver and steady-state
+// variants, plus the batched ingest). Snapshots from different hosts are
+// not comparable — the header records CPU count and git revision so a
+// reader can tell.
+package perf
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core"
+	"rainbar/internal/core/layout"
+	"rainbar/internal/raster"
+)
+
+// Schema identifies the snapshot layout; bump when fields change meaning.
+const Schema = "rainbar-perf/1"
+
+// Result is one benchmark outcome.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Snapshot is a full benchmark run plus the host/build context needed to
+// interpret it.
+type Snapshot struct {
+	Schema     string   `json:"schema"`
+	GitRev     string   `json:"git_rev"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a snapshot previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("perf: read snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Collect runs every registered kernel benchmark and returns the snapshot.
+// benchtime accepts the testing package's -benchtime syntax ("1s", "100x");
+// empty keeps the 1s default. Longer benchtimes reduce noise.
+func Collect(benchtime string) (*Snapshot, error) {
+	testing.Init()
+	if benchtime == "" {
+		benchtime = "1s"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return nil, fmt.Errorf("perf: benchtime %q: %w", benchtime, err)
+	}
+	s := &Snapshot{
+		Schema:     Schema,
+		GitRev:     gitRev(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime,
+	}
+	for _, k := range kernels {
+		fn, err := k.setup()
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", k.name, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		s.Results = append(s.Results, Result{
+			Name:        k.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return s, nil
+}
+
+// gitRev reports the working tree's short revision, or "unknown" outside a
+// git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// kernel names one benchmark; setup builds its scenario once (errors out of
+// the timed region) and returns the loop body.
+type kernel struct {
+	name  string
+	setup func() (func(b *testing.B), error)
+}
+
+// classifySamples covers the pixel populations the decoder classifies:
+// reference colors, dimmed variants, and noisy near-threshold mixtures
+// (kept in sync with the colorspace package's benchmark set).
+var classifySamples = []colorspace.RGB{
+	colorspace.RGBWhite, colorspace.RGBRed, colorspace.RGBGreen,
+	colorspace.RGBBlue, colorspace.RGBBlack,
+	{R: 128, G: 128, B: 128}, {R: 127, G: 10, B: 14}, {R: 30, G: 200, B: 40},
+	{R: 12, G: 30, B: 190}, {R: 200, G: 180, B: 170}, {R: 60, G: 55, B: 48},
+	{R: 15, G: 15, B: 20}, {R: 240, G: 120, B: 20}, {R: 90, G: 160, B: 200},
+	{R: 5, G: 80, B: 6}, {R: 255, G: 250, B: 128},
+}
+
+var (
+	sinkColor colorspace.Color
+	sinkFloat float64
+	sinkHSV   colorspace.HSV
+	sinkRGB   colorspace.RGB
+)
+
+// perfImage builds the deterministic 640x360 block-structured frame the
+// raster benchmarks use.
+func perfImage() *raster.Image {
+	img := raster.New(640, 360)
+	palette := []colorspace.RGB{
+		colorspace.RGBWhite, colorspace.RGBRed,
+		colorspace.RGBGreen, colorspace.RGBBlue, colorspace.RGBBlack,
+	}
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			img.Pix[y*img.W+x] = palette[((x/12)+3*(y/12))%len(palette)]
+		}
+	}
+	return img
+}
+
+// perfCodec mirrors the core test codec: 480x270 at 10 px -> 48x27 grid.
+func perfCodec() (*core.Codec, error) {
+	g, err := layout.NewGeometry(480, 270, 10)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCodec(core.Config{Geometry: g, DisplayRate: 10, AppType: 1})
+}
+
+func perfPayload(c *core.Codec, seed int64) []byte {
+	data := make([]byte, c.FrameCapacity())
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+// perfCapture renders one frame and passes it through the default channel.
+func perfCapture(c *core.Codec) (*raster.Image, error) {
+	f, err := c.EncodeFrame(perfPayload(c, 1), 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return channel.MustNew(channel.DefaultConfig()).Capture(f.Render())
+}
+
+// perfBatch builds the 4-capture burst the receiver benchmarks ingest.
+func perfBatch(c *core.Codec) ([]*raster.Image, error) {
+	ch := channel.MustNew(channel.DefaultConfig())
+	caps := make([]*raster.Image, 4)
+	for i := range caps {
+		f, err := c.EncodeFrame(perfPayload(c, int64(i)), uint16(i), false)
+		if err != nil {
+			return nil, err
+		}
+		caps[i], err = ch.Capture(f.Render())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return caps, nil
+}
+
+var kernels = []kernel{
+	{"classify_rgb", func() (func(*testing.B), error) {
+		cl := colorspace.NewClassifier(0.32)
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkColor = cl.ClassifyRGB(classifySamples[i%len(classifySamples)])
+			}
+		}, nil
+	}},
+	{"classify_rgb_soft", func() (func(*testing.B), error) {
+		cl := colorspace.NewClassifier(0.32)
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkColor, sinkFloat = cl.ClassifyRGBSoft(classifySamples[i%len(classifySamples)])
+			}
+		}, nil
+	}},
+	{"to_hsv", func() (func(*testing.B), error) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkHSV = classifySamples[i%len(classifySamples)].ToHSV()
+			}
+		}, nil
+	}},
+	{"mean_filter_at", func() (func(*testing.B), error) {
+		img := perfImage()
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkRGB = img.MeanFilterAt(320, 180)
+			}
+		}, nil
+	}},
+	{"sharpness", func() (func(*testing.B), error) {
+		img := perfImage()
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkFloat = img.Sharpness()
+			}
+		}, nil
+	}},
+	{"fix_image", func() (func(*testing.B), error) {
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		capt, err := perfCapture(c)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.FixImage(capt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil
+	}},
+	{"decode_grid", func() (func(*testing.B), error) {
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		capt, err := perfCapture(c)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.DecodeGrid(capt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil
+	}},
+	{"decode_frame", func() (func(*testing.B), error) {
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		capt, err := perfCapture(c)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.DecodeFrame(capt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil
+	}},
+	{"assemble_payload", func() (func(*testing.B), error) {
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		capt, err := perfCapture(c)
+		if err != nil {
+			return nil, err
+		}
+		gd, err := c.DecodeGrid(capt)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AssemblePayload(gd.Cells, gd.Header); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil
+	}},
+	{"receiver_process", func() (func(*testing.B), error) {
+		// Fresh receiver per op: construction plus the 4-capture batch.
+		// Kept across snapshots as the apples-to-apples receiver series.
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		caps, err := perfBatch(c)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rx := core.NewReceiver(c)
+				for _, capt := range caps {
+					if err := rx.Ingest(capt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rx.Flush()
+			}
+		}, nil
+	}},
+	{"receiver_process_steady", func() (func(*testing.B), error) {
+		// One long-lived receiver recycled with Reset between batches: the
+		// steady state of a continuously-running receiver, where every decode
+		// intermediate comes from scratch buffers. The hot-path memory
+		// contract (DESIGN.md §11) pins this kernel at 0 allocs/op.
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		caps, err := perfBatch(c)
+		if err != nil {
+			return nil, err
+		}
+		rx := core.NewReceiver(c)
+		process := func(b *testing.B) {
+			for _, capt := range caps {
+				if err := rx.Ingest(capt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rx.Flush()
+			rx.Reset()
+		}
+		return func(b *testing.B) {
+			process(b) // warm scratch buffers and freelists
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				process(b)
+			}
+		}, nil
+	}},
+	{"receiver_ingest_batch", func() (func(*testing.B), error) {
+		// The batched front end: grid decodes fan out across cores, merge
+		// stays sequential in capture order (bit-identical to Ingest).
+		c, err := perfCodec()
+		if err != nil {
+			return nil, err
+		}
+		caps, err := perfBatch(c)
+		if err != nil {
+			return nil, err
+		}
+		rx := core.NewReceiver(c)
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, err := range rx.IngestBatch(caps) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				rx.Flush()
+				rx.Reset()
+			}
+		}, nil
+	}},
+}

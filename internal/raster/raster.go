@@ -52,6 +52,81 @@ func parallelRows(h int, fn func(y0, y1 int)) {
 // each row independently of the others.
 func ParallelRows(h int, fn func(y0, y1 int)) { parallelRows(h, fn) }
 
+// RowTask is the typed-job counterpart of the ParallelRows callback: a
+// value whose RunRows processes the contiguous row band [y0, y1). Hot-path
+// code implements RowTask on a pooled struct instead of capturing state in
+// a closure — a closure handed to ParallelRows escapes to the heap on
+// every call, even on a single-CPU host where the band runs inline.
+type RowTask interface {
+	RunRows(y0, y1 int)
+}
+
+// bandJob is one row band of a RowTask, sent by value to the persistent
+// band workers.
+type bandJob struct {
+	t      RowTask
+	y0, y1 int
+	wg     *sync.WaitGroup
+}
+
+var (
+	bandOnce sync.Once
+	bandJobs chan bandJob
+	wgPool   = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+func startBandWorkers() {
+	// One fewer worker than CPUs: the submitting goroutine always runs the
+	// first band itself, so n CPUs stay busy with n-1 helpers. At least one
+	// helper always starts, so queued bands drain (and wg.Wait returns)
+	// even if GOMAXPROCS grows after the pool is up.
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	bandJobs = make(chan bandJob, 4*(n+1))
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range bandJobs {
+				j.t.RunRows(j.y0, j.y1)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// ParallelRowTasks splits [0, h) into contiguous bands, one per available
+// CPU, and runs t.RunRows on each band concurrently via a persistent
+// worker pool — no goroutine spawn and no allocation per call. The data
+// contract is ParallelRows': RunRows must write only rows inside its own
+// band and compute each row independently, so results are identical for
+// any worker count. RunRows must not itself call ParallelRowTasks (the
+// shared workers would deadlock). With a single CPU (or a single row) the
+// whole range runs inline on the caller's goroutine.
+func ParallelRowTasks(h int, t RowTask) {
+	workers := min(runtime.GOMAXPROCS(0), h)
+	if workers <= 1 {
+		if h > 0 {
+			t.RunRows(0, h)
+		}
+		return
+	}
+	bandOnce.Do(startBandWorkers)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for w := 1; w < workers; w++ {
+		y0, y1 := w*h/workers, (w+1)*h/workers
+		if y0 == y1 {
+			continue
+		}
+		wg.Add(1)
+		bandJobs <- bandJob{t: t, y0: y0, y1: y1, wg: wg}
+	}
+	// Band 0 runs inline, overlapping the helpers.
+	t.RunRows(0, h/workers)
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
 // GetFloats returns a pooled scratch slice of length n with undefined
 // contents; callers must overwrite every element they read. Pair with
 // PutFloats when the scratch is no longer referenced.
@@ -62,18 +137,33 @@ func PutFloats(b []float64) { putFloats(b) }
 
 // floatPool recycles the blur scratch planes. A 640x360 capture needs
 // ~5.5 MB of float scratch; without the pool that much garbage is created
-// per simulated capture.
-var floatPool sync.Pool
+// per simulated capture. boxPool recycles the *[]float64 headers the pool
+// stores, so a get/put round trip is allocation-free after warmup — the
+// naive floatPool.Put(&b) would heap-allocate a fresh header every call.
+var (
+	floatPool sync.Pool
+	boxPool   sync.Pool
+)
 
 func getFloats(n int) []float64 {
-	if v, ok := floatPool.Get().(*[]float64); ok && cap(*v) >= n {
-		return (*v)[:n]
+	if box, ok := floatPool.Get().(*[]float64); ok {
+		s := *box
+		*box = nil
+		boxPool.Put(box)
+		if cap(s) >= n {
+			return s[:n]
+		}
 	}
 	return make([]float64, n)
 }
 
 func putFloats(b []float64) {
-	floatPool.Put(&b)
+	box, ok := boxPool.Get().(*[]float64)
+	if !ok {
+		box = new([]float64)
+	}
+	*box = b
+	floatPool.Put(box)
 }
 
 // imagePool recycles pixel buffers between simulated captures. Buffers
@@ -465,41 +555,89 @@ func clampRound(v float64) uint8 {
 //
 // Rows are scored in parallel; each row accumulates its own partial sum
 // and the partials are reduced in row order, so the (fixed) floating-point
-// association is independent of the worker count.
+// association is independent of the worker count. The task struct and all
+// scratch are pooled: steady-state calls do not allocate.
 func (img *Image) Sharpness() float64 {
 	if img.W < 2 || img.H < 2 {
 		return 0
 	}
-	w := img.W
-	rowSums := getFloats(img.H - 1)
-	parallelRows(img.H-1, func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			row := img.Pix[y*w : (y+1)*w : (y+1)*w]
-			below := img.Pix[(y+1)*w : (y+2)*w : (y+2)*w]
-			var sum float64
-			l := luma(row[0])
-			for x := 0; x < w-1; x++ {
-				lr := luma(row[x+1])
-				gx := lr - l
-				gy := luma(below[x]) - l
-				sum += gx*gx + gy*gy
-				l = lr
-			}
-			rowSums[y] = sum
-		}
-	})
+	t, _ := sharpPool.Get().(*sharpTask)
+	if t == nil {
+		t = new(sharpTask)
+	}
+	t.img = img
+	t.rowSums = getFloats(img.H - 1)
+	ParallelRowTasks(img.H-1, t)
 	var sum float64
-	for _, s := range rowSums {
+	for _, s := range t.rowSums {
 		sum += s
 	}
-	putFloats(rowSums)
+	putFloats(t.rowSums)
+	t.img, t.rowSums = nil, nil
+	sharpPool.Put(t)
 	return sum / float64((img.W-1)*(img.H-1))
+}
+
+var sharpPool sync.Pool
+
+// sharpTask scores rows [y0, y1) of img into rowSums. Each band keeps two
+// pooled luma rows and rolls them downward, so every pixel's luma is
+// evaluated twice per call (once as the "current" row, once as the row
+// below) instead of three times in the naive form — with the identical
+// per-row accumulation order, so the result is bit-equal to the original
+// serial loop.
+type sharpTask struct {
+	img     *Image
+	rowSums []float64
+}
+
+func (t *sharpTask) RunRows(y0, y1 int) {
+	img := t.img
+	w := img.W
+	scratch := getFloats(2 * w)
+	cur, next := scratch[:w], scratch[w:]
+	lumaRow(img.Pix[y0*w:(y0+1)*w:(y0+1)*w], cur)
+	for y := y0; y < y1; y++ {
+		lumaRow(img.Pix[(y+1)*w:(y+2)*w:(y+2)*w], next)
+		var sum float64
+		l := cur[0]
+		for x := 0; x < w-1; x++ {
+			lr := cur[x+1]
+			gx := lr - l
+			gy := next[x] - l
+			sum += gx*gx + gy*gy
+			l = lr
+		}
+		t.rowSums[y] = sum
+		cur, next = next, cur
+	}
+	putFloats(scratch)
+}
+
+// lumaRow writes luma(row[x]) into dst[x] using the per-channel tables.
+func lumaRow(row []colorspace.RGB, dst []float64) {
+	for x, p := range row {
+		dst[x] = (lumaR[p.R] + lumaG[p.G]) + lumaB[p.B]
+	}
+}
+
+// lumaR/lumaG/lumaB cache the per-channel Rec. 601 terms. The sum
+// (lumaR[r]+lumaG[g])+lumaB[b] reproduces the left-associated expression
+// 0.299*r + 0.587*g + 0.114*b bit-for-bit.
+var lumaR, lumaG, lumaB [256]float64
+
+func init() {
+	for k := 0; k < 256; k++ {
+		lumaR[k] = 0.299 * float64(k)
+		lumaG[k] = 0.587 * float64(k)
+		lumaB[k] = 0.114 * float64(k)
+	}
 }
 
 // luma is the Rec. 601 luminance of a pixel, the gradient basis for
 // Sharpness.
 func luma(p colorspace.RGB) float64 {
-	return 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+	return (lumaR[p.R] + lumaG[p.G]) + lumaB[p.B]
 }
 
 // ToStdImage converts to an image.RGBA from the standard library.

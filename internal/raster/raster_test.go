@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"path/filepath"
+	"runtime/debug"
 	"testing"
 	"testing/quick"
 
@@ -186,6 +187,100 @@ func TestSharpnessOrdersBlurLevels(t *testing.T) {
 func TestSharpnessDegenerate(t *testing.T) {
 	if got := New(1, 1).Sharpness(); got != 0 {
 		t.Errorf("1x1 sharpness = %v, want 0", got)
+	}
+}
+
+// sharpnessRef is the pre-table Sharpness implementation, kept verbatim as
+// the executable specification: the pooled, luma-table path must reproduce
+// its result bit-for-bit (sharpness feeds vote weights, so a one-ulp drift
+// would change experiment tables).
+func sharpnessRef(img *Image) float64 {
+	if img.W < 2 || img.H < 2 {
+		return 0
+	}
+	w := img.W
+	lumaF := func(p colorspace.RGB) float64 {
+		return 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+	}
+	rowSums := make([]float64, img.H-1)
+	for y := 0; y < img.H-1; y++ {
+		row := img.Pix[y*w : (y+1)*w]
+		below := img.Pix[(y+1)*w : (y+2)*w]
+		l := lumaF(row[0])
+		var sum float64
+		for x := 0; x < w-1; x++ {
+			lr := lumaF(row[x+1])
+			gx := lr - l
+			gy := lumaF(below[x]) - l
+			sum += gx*gx + gy*gy
+			l = lr
+		}
+		rowSums[y] = sum
+	}
+	var sum float64
+	for _, s := range rowSums {
+		sum += s
+	}
+	return sum / float64((img.W-1)*(img.H-1))
+}
+
+func TestSharpnessMatchesReference(t *testing.T) {
+	sizes := [][2]int{{2, 2}, {3, 7}, {17, 5}, {64, 48}, {640, 360}}
+	for _, sz := range sizes {
+		img := New(sz[0], sz[1])
+		seed := uint32(12345)
+		for i := range img.Pix {
+			seed = seed*1664525 + 1013904223
+			img.Pix[i] = colorspace.RGB{
+				R: uint8(seed >> 24), G: uint8(seed >> 16), B: uint8(seed >> 8),
+			}
+		}
+		if got, want := img.Sharpness(), sharpnessRef(img); got != want {
+			t.Fatalf("%dx%d: Sharpness() = %v, reference = %v", sz[0], sz[1], got, want)
+		}
+	}
+}
+
+func TestSharpnessAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its cache at random under -race; the allocation contract is measured without it")
+	}
+	img := benchImage()
+	img.Sharpness() // warm the pools
+	// GC off: a collection mid-measurement would drain the sync.Pools and
+	// the refill would count as an allocation of Sharpness's own.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if n := testing.AllocsPerRun(50, func() { img.Sharpness() }); n > 0 {
+		t.Fatalf("Sharpness allocates %v per call after warmup", n)
+	}
+}
+
+// rowFillTask writes the band's row index into every cell of its rows.
+type rowFillTask struct {
+	w   int
+	out []int
+}
+
+func (t *rowFillTask) RunRows(y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		for x := 0; x < t.w; x++ {
+			t.out[y*t.w+x] = y
+		}
+	}
+}
+
+func TestParallelRowTasksCoversAllRows(t *testing.T) {
+	for _, h := range []int{0, 1, 2, 7, 64, 361} {
+		task := &rowFillTask{w: 5, out: make([]int, 5*h)}
+		for i := range task.out {
+			task.out[i] = -1
+		}
+		ParallelRowTasks(h, task)
+		for i, v := range task.out {
+			if v != i/5 {
+				t.Fatalf("h=%d: cell %d = %d, want %d", h, i, v, i/5)
+			}
+		}
 	}
 }
 

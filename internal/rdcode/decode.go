@@ -1,5 +1,7 @@
 package rdcode
 
+//lint:file-allow RB-P1 baseline comparison codec: its DecodeFrame shares a hot-path name but is not the optimized rainbar decode loop
+
 import (
 	"fmt"
 

@@ -102,6 +102,24 @@ func (c *Codec) Decode(msg []byte, erasures []int) ([]byte, error) {
 // (erasure fills included) — the per-message RS load the paper's
 // evaluation tracks. A clean codeword reports zero.
 func (c *Codec) DecodeCounted(msg []byte, erasures []int) (data []byte, corrected int, err error) {
+	return c.DecodeCountedScratch(msg, erasures, nil)
+}
+
+// Scratch holds the reusable buffers of the decode fast path (the working
+// copy of the codeword and the syndrome vector), so a receiver decoding
+// many clean messages does not allocate per message. The zero value is
+// ready to use; a Scratch is not safe for concurrent use.
+type Scratch struct {
+	work []byte
+	synd []byte
+}
+
+// DecodeCountedScratch is DecodeCounted drawing its fast-path buffers from
+// sc; a nil sc allocates fresh buffers (identical to DecodeCounted). With
+// a scratch, the returned data slice aliases the scratch's working buffer
+// — it is valid only until the next call using the same scratch, and
+// callers that keep it must copy. Results are bit-identical either way.
+func (c *Codec) DecodeCountedScratch(msg []byte, erasures []int, sc *Scratch) (data []byte, corrected int, err error) {
 	if len(msg) < c.nparity {
 		return nil, 0, ErrShortMessage
 	}
@@ -117,10 +135,18 @@ func (c *Codec) DecodeCounted(msg []byte, erasures []int) (data []byte, correcte
 		return nil, 0, ErrTooManyErrors
 	}
 
-	work := make([]byte, len(msg))
+	var work, synd []byte
+	if sc != nil {
+		sc.work = growBytes(sc.work, len(msg))
+		sc.synd = growBytes(sc.synd, c.nparity)
+		work, synd = sc.work, sc.synd
+	} else {
+		work = make([]byte, len(msg))
+		synd = make([]byte, c.nparity)
+	}
 	copy(work, msg)
 
-	synd := c.syndromes(work)
+	c.syndromesInto(synd, work)
 	if allZero(synd) {
 		return work[:len(work)-c.nparity], 0, nil
 	}
@@ -144,8 +170,10 @@ func (c *Codec) DecodeCounted(msg []byte, erasures []int) (data []byte, correcte
 	if err := c.forneyCorrect(work, synd, errLoc, positions); err != nil {
 		return nil, 0, err
 	}
-	// Verify: recompute syndromes after correction.
-	if !allZero(c.syndromes(work)) {
+	// Verify: recompute syndromes after correction. synd itself is free to
+	// reuse — the correction path is done with it.
+	c.syndromesInto(synd, work)
+	if !allZero(synd) {
 		return nil, 0, ErrTooManyErrors
 	}
 	return work[:len(work)-c.nparity], len(positions), nil
@@ -154,10 +182,25 @@ func (c *Codec) DecodeCounted(msg []byte, erasures []int) (data []byte, correcte
 // syndromes evaluates the received polynomial at alpha^0..alpha^(nparity-1).
 func (c *Codec) syndromes(msg []byte) []byte {
 	synd := make([]byte, c.nparity)
+	c.syndromesInto(synd, msg)
+	return synd
+}
+
+// syndromesInto is syndromes writing into a caller-provided vector of
+// length nparity.
+func (c *Codec) syndromesInto(synd, msg []byte) {
 	for i := range synd {
 		synd[i] = gf256.Polynomial(msg).Eval(gf256.Exp(i))
 	}
-	return synd
+}
+
+// growBytes returns b resized to n bytes, reusing its storage when the
+// capacity allows. Contents are unspecified.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
 }
 
 func allZero(b []byte) bool {

@@ -365,10 +365,17 @@ func (s *Session) sendRound(fc FileCodec, data []byte, chunks []int, nextSeq *ui
 		return 0, 0, fmt.Errorf("transport: %w", err)
 	}
 	rx := core.NewReceiver(s.Codec)
+	imgs := make([]*raster.Image, len(caps))
 	for i := range caps {
+		imgs[i] = caps[i].Image
+	}
+	// Batched ingest parallelizes the per-capture grid decodes while keeping
+	// merge order — and therefore every error and frame — identical to
+	// sequential Ingest calls.
+	for _, err := range rx.IngestBatch(imgs) {
 		// Individual captures may fail; the stream continues, but the
 		// failure class feeds the degradation policy's accounting.
-		if err := rx.Ingest(caps[i].Image); err != nil {
+		if err != nil {
 			class := core.ClassifyFailure(err)
 			stats.addFailure(class)
 			s.recordFailure(class)

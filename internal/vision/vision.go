@@ -41,17 +41,50 @@ func (b *Blob) Centroid() (float64, float64) {
 // map of mw x mh cells. Components smaller than 2 cells are dropped as
 // noise.
 func BlackBlobs(classMap []colorspace.Color, mw, mh int) []Blob {
-	visited := make([]bool, mw*mh)
-	var out []Blob
-	var stack []int
+	var s BlobScratch
+	return s.BlackBlobs(classMap, mw, mh)
+}
+
+// BlobScratch holds the reusable working state of BlackBlobs, so a decoder
+// that labels one map per capture does not reallocate the visited plane,
+// the flood-fill stack and the blob list every time. The zero value is
+// ready to use; a BlobScratch is not safe for concurrent use.
+type BlobScratch struct {
+	// visited marks cells by epoch: a cell is visited in the current call
+	// iff visited[i] == epoch. Bumping the epoch resets the plane in O(1);
+	// the plane is only cleared for real on the (rare) epoch wraparound.
+	visited []uint32
+	epoch   uint32
+	stack   []int
+	blobs   []Blob
+}
+
+// BlackBlobs is the scratch-backed labeling; results are identical to the
+// package-level BlackBlobs. The returned slice is owned by the scratch and
+// valid until the next call.
+func (s *BlobScratch) BlackBlobs(classMap []colorspace.Color, mw, mh int) []Blob {
+	if cap(s.visited) >= mw*mh {
+		s.visited = s.visited[:mw*mh]
+	} else {
+		s.visited = make([]uint32, mw*mh)
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.visited)
+		s.epoch = 1
+	}
+	epoch := s.epoch
+	visited := s.visited
+	out := s.blobs[:0]
+	stack := s.stack
 	for start := range classMap {
-		if visited[start] || classMap[start] != colorspace.Black {
+		if classMap[start] != colorspace.Black || visited[start] == epoch {
 			continue
 		}
 		blob := Blob{MinX: mw, MinY: mh}
 		stack = stack[:0]
 		stack = append(stack, start)
-		visited[start] = true
+		visited[start] = epoch
 		for len(stack) > 0 {
 			i := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -69,8 +102,8 @@ func BlackBlobs(classMap []colorspace.Color, mw, mh int) []Blob {
 					continue
 				}
 				j := ny*mw + nx
-				if !visited[j] && classMap[j] == colorspace.Black {
-					visited[j] = true
+				if visited[j] != epoch && classMap[j] == colorspace.Black {
+					visited[j] = epoch
 					stack = append(stack, j)
 				}
 			}
@@ -79,17 +112,33 @@ func BlackBlobs(classMap []colorspace.Color, mw, mh int) []Blob {
 			out = append(out, blob)
 		}
 	}
+	s.stack, s.blobs = stack, out
 	return out
 }
 
 // ClassifyMap builds a downsampled classification map of the image with
 // the given stride.
 func ClassifyMap(img *raster.Image, cl colorspace.Classifier, stride int) (classMap []colorspace.Color, mw, mh int) {
+	return ClassifyMapInto(nil, img, cl, stride)
+}
+
+// ClassifyMapInto is ClassifyMap writing into dst when its capacity
+// suffices (allocating otherwise), so a per-capture decoder can reuse one
+// map. The inner loop walks each source row as a slice, skipping the
+// per-pixel bounds check of Image.At — every sampled coordinate is in
+// bounds by construction of mw, mh.
+func ClassifyMapInto(dst []colorspace.Color, img *raster.Image, cl colorspace.Classifier, stride int) (classMap []colorspace.Color, mw, mh int) {
 	mw, mh = img.W/stride, img.H/stride
-	classMap = make([]colorspace.Color, mw*mh)
+	if cap(dst) >= mw*mh {
+		classMap = dst[:mw*mh]
+	} else {
+		classMap = make([]colorspace.Color, mw*mh)
+	}
 	for y := 0; y < mh; y++ {
+		src := img.Pix[y*stride*img.W:]
+		out := classMap[y*mw : (y+1)*mw]
 		for x := 0; x < mw; x++ {
-			classMap[y*mw+x] = cl.ClassifyRGB(img.At(x*stride, y*stride))
+			out[x] = cl.ClassifyRGB(src[x*stride])
 		}
 	}
 	return classMap, mw, mh
@@ -156,7 +205,20 @@ func BlackExtent(img *raster.Image, cl colorspace.Classifier, p geometry.Point, 
 // block center (offsets dx, dy per axis, mean-filtered) and counts the
 // classification of each — used to verify corner-tracker ring colors.
 func RingVotes(img *raster.Image, cl colorspace.Classifier, p geometry.Point, dx, dy float64) map[colorspace.Color]int {
+	votes := RingVoteCounts(img, cl, p, dx, dy)
 	counts := make(map[colorspace.Color]int, 5)
+	for c, n := range votes {
+		if n > 0 {
+			counts[colorspace.Color(c)] = n
+		}
+	}
+	return counts
+}
+
+// RingVoteCounts is RingVotes returning a fixed-size tally indexed by
+// color instead of a freshly allocated map — the allocation-free form the
+// per-capture tracker search uses.
+func RingVoteCounts(img *raster.Image, cl colorspace.Classifier, p geometry.Point, dx, dy float64) (counts [colorspace.Black + 1]int) {
 	for _, off := range [8][2]float64{
 		{-1, -1}, {0, -1}, {1, -1},
 		{-1, 0}, {1, 0},

@@ -1,0 +1,24 @@
+#!/bin/sh
+# bench.sh — regenerate a BENCH_<n>.json perf snapshot.
+#
+# Usage:
+#   scripts/bench.sh              # write BENCH_<n>.json (first free index)
+#   scripts/bench.sh out.json     # write to an explicit path
+#   BENCHTIME=100ms scripts/bench.sh /tmp/smoke.json   # quick smoke run
+#
+# The snapshot schema (ns/op, allocs/op, B/op per kernel, plus git rev and
+# host CPU count) is defined in internal/perf. Snapshots are only
+# comparable when taken on the same host; CI uses a short BENCHTIME smoke
+# to prove the harness runs, not to compare numbers.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [ -z "$out" ]; then
+    n=0
+    while [ -e "BENCH_$n.json" ]; do n=$((n + 1)); done
+    out="BENCH_$n.json"
+fi
+
+go run ./cmd/rainbar-bench -perf-json "$out" -perf-benchtime "${BENCHTIME:-1s}"
+echo "wrote $out"

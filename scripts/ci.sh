@@ -8,7 +8,10 @@
 # raster kernels and the sharded metrics recorder; the metrics smoke
 # proves rainbar-bench can instrument a sweep end to end; the recovery
 # smoke proves the decode-recovery ablation runs under the full ladder
-# with cross-round combining; the fuzz steps
+# with cross-round combining; the allocation gate holds the steady-state
+# receiver at 0 allocs/op (the DESIGN.md §11 hot-path memory contract);
+# the bench smoke proves the perf-snapshot harness (scripts/bench.sh,
+# BENCH_<n>.json) runs end to end; the fuzz steps
 # keep the decode paths panic-free on corrupt input (Go runs one fuzz
 # target per invocation, hence one line each). Set CI_FUZZ=0 to skip the
 # fuzz smoke locally and keep the build+lint+test gate fast. Run before
@@ -30,6 +33,15 @@ go test ./...
 go test -race ./...
 go run ./cmd/rainbar-bench -exp fig10a -frames 1 -metrics - >/dev/null
 go run ./cmd/rainbar-bench -exp recovery -frames 1 -recovery combine >/dev/null
+
+# Allocation gate: the steady-state receiver benchmark must report
+# 0 allocs/op (TestReceiverSteadyStateAllocFree enforces the same
+# contract in-process; this reads the number the snapshots record).
+steady=$(go test -run XXX -bench BenchmarkReceiverProcessSteady -benchtime 10x -benchmem ./internal/core | awk '/BenchmarkReceiverProcessSteady/ {print $(NF-1)}')
+test "$steady" = "0"
+
+# Perf-snapshot smoke: the bench.sh harness must run end to end.
+BENCHTIME=1x scripts/bench.sh /tmp/rainbar-bench-smoke.json >/dev/null
 
 if [ "${CI_FUZZ:-1}" != "0" ]; then
 	go test -fuzz=FuzzHeaderDecode -fuzztime=10s ./internal/core/header
