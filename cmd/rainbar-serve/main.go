@@ -1,0 +1,278 @@
+// Command rainbar-serve is the multi-session transfer daemon: it
+// multiplexes many concurrent simulated screen-camera transfers over a
+// bounded worker pool, with admission control, snapshot/restore of
+// live sessions, and an HTTP admin API.
+//
+// Usage:
+//
+//	rainbar-serve -listen ADDR [-max-sessions 1024] [-workers 4]
+//	rainbar-serve -loadtest [-sessions 32] [-workers 4] [-payload 400]
+//	              [-seed 1] [-recovery combine] [-faults "spec;spec"]
+//	              [-rounds 8] [-perf-json FILE] [-metrics FILE]
+//
+// Daemon mode (-listen) serves:
+//
+//	POST /sessions              admit a session (JSON SessionSpec body)
+//	GET  /sessions              list all sessions
+//	GET  /sessions/{id}         one session's state
+//	POST /sessions/{id}/cancel  cancel a live session
+//	GET  /sessions/{id}/snapshot  serialize a live session (binary)
+//	GET  /sessions/{id}/result  a terminal session's delivered payload
+//	POST /restore               re-admit a snapshotted session (binary body)
+//	GET  /metrics               Prometheus exposition
+//	GET  /healthz               liveness
+//
+// Loadtest mode (-loadtest) runs a synthetic fleet to completion and
+// prints the throughput/latency report; -perf-json additionally writes
+// a perf snapshot (BENCH_<n>.json schema) with the serve section
+// populated.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"rainbar/internal/obs"
+	"rainbar/internal/perf"
+	"rainbar/internal/serve"
+	"rainbar/internal/serve/loadgen"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "", "serve the HTTP admin API on this address (daemon mode)")
+		maxSessions = flag.Int("max-sessions", 1024, "admission bound on concurrently live sessions")
+		workers     = flag.Int("workers", 4, "stepping-pool size")
+		loadtest    = flag.Bool("loadtest", false, "run a synthetic fleet to completion and report throughput")
+		sessions    = flag.Int("sessions", 32, "loadtest fleet size")
+		payload     = flag.Int("payload", 400, "loadtest per-session payload bytes")
+		seed        = flag.Int64("seed", 1, "loadtest base seed")
+		recovery    = flag.String("recovery", "combine", "loadtest decode-recovery mode: off, erasures, ladder or combine")
+		faultsFlag  = flag.String("faults", "", "loadtest fault specs rotated across the fleet, ';'-separated (e.g. 'drop=0.3;;splice=0.5')")
+		rounds      = flag.Int("rounds", 8, "loadtest per-session round bound")
+		perfJSON    = flag.String("perf-json", "", "write a perf snapshot with the loadtest's serve section to this file ('-' = stdout)")
+		metrics     = flag.String("metrics", "", "write serve metrics after the run ('-' = stdout, *.json = JSON exposition)")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *loadtest:
+		err = runLoadtest(*sessions, *workers, *payload, *rounds, *seed, *recovery, *faultsFlag, *perfJSON, *metrics, os.Stdout)
+	case *listen != "":
+		err = runDaemon(*listen, *maxSessions, *workers)
+	default:
+		err = fmt.Errorf("pass -listen ADDR (daemon) or -loadtest (harness); see -h")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbar-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// runLoadtest drives the loadgen harness and writes the report, the
+// optional perf snapshot, and the optional metrics exposition.
+func runLoadtest(fleet, workers, payload, rounds int, seed int64, recovery, faultsFlag, perfJSON, metrics string, out io.Writer) error {
+	var specs []string
+	if faultsFlag != "" {
+		specs = strings.Split(faultsFlag, ";")
+	}
+	rec := obs.NewMemory()
+	rep, err := loadgen.Run(loadgen.Config{
+		Fleet:        fleet,
+		Workers:      workers,
+		PayloadBytes: payload,
+		Seed:         seed,
+		Recovery:     recovery,
+		FaultSpecs:   specs,
+		MaxRounds:    rounds,
+		Clock:        obs.NewWallClock(),
+		Recorder:     rec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Table())
+	if perfJSON != "" {
+		s := perf.Describe()
+		s.Serve = &perf.ServeStats{
+			Fleet:           rep.Fleet,
+			Workers:         rep.Workers,
+			Completed:       rep.Completed,
+			Failed:          rep.Failed,
+			Rounds:          rep.Rounds,
+			SessionsPerSec:  rep.SessionsPerSec,
+			P50RoundSeconds: rep.RoundP50.Seconds(),
+			P99RoundSeconds: rep.RoundP99.Seconds(),
+			BytesPerSession: rep.BytesPerSession,
+		}
+		if err := writeTo(perfJSON, s.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if metrics != "" {
+		write := rec.WritePrometheus
+		if strings.HasSuffix(metrics, ".json") {
+			write = rec.WriteJSON
+		}
+		if err := writeTo(metrics, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo runs write against path, with "-" meaning stdout.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runDaemon serves the admin API until the listener fails.
+func runDaemon(addr string, maxSessions, workers int) error {
+	rec := obs.NewMemory()
+	srv := serve.NewServer(serve.Config{MaxSessions: maxSessions, Workers: workers, Recorder: rec})
+	defer srv.Stop()
+	fmt.Printf("rainbar-serve: listening on %s (max %d sessions, %d workers)\n", addr, maxSessions, workers)
+	return http.ListenAndServe(addr, adminMux(srv, rec))
+}
+
+// adminMux routes the admin API onto a server. Split from runDaemon so
+// tests drive it through httptest without a real listener.
+func adminMux(srv *serve.Server, rec *obs.Memory) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if err := rec.WritePrometheus(w); err != nil {
+			httpErr(w, err)
+		}
+	})
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec serve.SessionSpec
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := srv.Submit(spec)
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]uint64{"id": id})
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, srv.Sessions())
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withID(w, r, func(id uint64) {
+			info, err := srv.Info(id)
+			if err != nil {
+				httpErr(w, err)
+				return
+			}
+			writeJSON(w, info)
+		})
+	})
+	mux.HandleFunc("POST /sessions/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		withID(w, r, func(id uint64) {
+			if err := srv.Cancel(id); err != nil {
+				httpErr(w, err)
+				return
+			}
+			writeJSON(w, map[string]bool{"canceled": true})
+		})
+	})
+	mux.HandleFunc("GET /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		withID(w, r, func(id uint64) {
+			snap, err := srv.Snapshot(id)
+			if err != nil {
+				httpErr(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(snap)
+		})
+	})
+	mux.HandleFunc("GET /sessions/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		withID(w, r, func(id uint64) {
+			payload, _, err := srv.Result(id)
+			if err != nil {
+				httpErr(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(payload)
+		})
+	})
+	mux.HandleFunc("POST /restore", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := srv.Restore(snap)
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]uint64{"id": id})
+	})
+	return mux
+}
+
+// maxBody bounds admin request bodies (payloads are capped far lower by
+// the serve spec admission checks; this only stops runaway uploads).
+const maxBody = 64 << 20
+
+// httpErr maps serve sentinels onto HTTP statuses.
+func httpErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, serve.ErrUnknownSession):
+		status = http.StatusNotFound
+	case errors.Is(err, serve.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrStopped):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrSessionTerminal), errors.Is(err, serve.ErrSessionActive), errors.Is(err, serve.ErrCanceled):
+		status = http.StatusConflict
+	case errors.Is(err, serve.ErrBadSnapshot), errors.Is(err, serve.ErrSnapshotVersion), errors.Is(err, serve.ErrSnapshotChecksum):
+		status = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// withID parses the {id} path value and hands it to fn.
+func withID(w http.ResponseWriter, r *http.Request, fn func(uint64)) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	fn(id)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rainbar/internal/obs"
+	"rainbar/internal/perf"
+	"rainbar/internal/serve"
+)
+
+// TestLoadtestWritesPerfSnapshot runs the harness end to end through the
+// CLI path and checks the BENCH-schema snapshot has its serve section
+// populated.
+func TestLoadtestWritesPerfSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	perfPath := filepath.Join(dir, "bench.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var report bytes.Buffer
+	err := runLoadtest(4, 2, 300, 6, 7, "combine", "drop=0.5;", perfPath, metricsPath, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(report.String(), "rainbar-serve loadtest\n") {
+		t.Fatalf("unexpected report:\n%s", report.String())
+	}
+
+	f, err := os.Open(perfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := perf.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != perf.Schema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if snap.Serve == nil {
+		t.Fatal("serve section missing from perf snapshot")
+	}
+	if snap.Serve.Fleet != 4 || snap.Serve.Completed == 0 {
+		t.Fatalf("degenerate serve stats: %+v", snap.Serve)
+	}
+	if snap.Serve.SessionsPerSec <= 0 || snap.Serve.P99RoundSeconds <= 0 {
+		t.Fatalf("throughput/latency unpopulated: %+v", snap.Serve)
+	}
+
+	blob, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), obs.MServeSubmitted) {
+		t.Fatalf("metrics exposition missing serve counters:\n%s", blob)
+	}
+}
+
+// TestAdminAPI drives the HTTP surface against an in-process daemon.
+func TestAdminAPI(t *testing.T) {
+	rec := obs.NewMemory()
+	srv := serve.NewServer(serve.Config{MaxSessions: 8, Workers: 2, Recorder: rec})
+	defer srv.Stop()
+	ts := httptest.NewServer(adminMux(srv, rec))
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	if resp, body := get("/healthz"); resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := get("/sessions/42"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader("{bad json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec body: %d", resp.StatusCode)
+	}
+
+	// A lossy multi-round session, so it is reliably live for a snapshot.
+	spec := serve.SessionSpec{
+		Payload: []byte(strings.Repeat("rainbar admin api ", 25)),
+		ScreenW: 400, ScreenH: 192, Block: 8,
+		Faults:   "drop=0.6,seed=11",
+		Recovery: "combine",
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted struct{ ID uint64 }
+	if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if admitted.ID == 0 {
+		t.Fatal("no session id returned")
+	}
+
+	// Snapshot while live, then restore as a second session. The transfer
+	// may already be terminal on slow machines; only the happy path is
+	// asserted when we do catch it live.
+	if resp, snap := get(snapPath(admitted.ID)); resp.StatusCode == 200 {
+		resp2, err := http.Post(ts.URL+"/restore", "application/octet-stream", bytes.NewReader(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored struct{ ID uint64 }
+		if err := json.NewDecoder(resp2.Body).Decode(&restored); err != nil {
+			t.Fatal(err)
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != 200 || restored.ID == admitted.ID || restored.ID == 0 {
+			t.Fatalf("restore: %d id=%d", resp2.StatusCode, restored.ID)
+		}
+	}
+
+	// Wait for every session to finish, then read results over HTTP.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Active() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sessions did not finish in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, body := get("/sessions/" + jsonID(admitted.ID) + "/result")
+	if resp.StatusCode != 200 {
+		t.Fatalf("result: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, spec.Payload) {
+		t.Fatal("payload not bit-exact over the admin API")
+	}
+	var infos []serve.SessionInfo
+	if resp, body := get("/sessions"); resp.StatusCode != 200 || json.Unmarshal(body, &infos) != nil || len(infos) == 0 {
+		t.Fatalf("session list: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := get("/metrics"); resp.StatusCode != 200 || !strings.Contains(string(body), obs.MServeSubmitted) {
+		t.Fatalf("metrics: %d\n%s", resp.StatusCode, body)
+	}
+	if resp, _ := get(snapPath(admitted.ID)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot of terminal session: %d", resp.StatusCode)
+	}
+}
+
+func snapPath(id uint64) string { return "/sessions/" + jsonID(id) + "/snapshot" }
+
+func jsonID(id uint64) string {
+	b, _ := json.Marshal(id)
+	return string(b)
+}

@@ -85,6 +85,7 @@ func DefaultConfig() Config {
 		ContractRoots: map[string]bool{
 			"faults": true, "experiment": true, "channel": true,
 			"camera": true, "core": true, "transport": true,
+			"serve": true,
 		},
 		DecodeRoots: map[string]bool{
 			"core": true, "rdcode": true, "cobra": true,

@@ -232,6 +232,17 @@ func MustNew(cfg Config) *Channel {
 // Config returns the channel's condition.
 func (ch *Channel) Config() Config { return ch.cfg }
 
+// Reset rewinds the channel to its just-constructed state: the private
+// PRNG is reseeded from the configured seed and the capture counter that
+// indexes the fault chain is zeroed. After Reset the next capture sequence
+// is bit-identical to a freshly built channel's, which is what lets a
+// long-lived transport session run back-to-back transfers reproducibly.
+func (ch *Channel) Reset() {
+	// Determinism contract (RB-D2): locally seeded *rand.Rand, same as New.
+	ch.rng = rand.New(rand.NewSource(ch.cfg.Seed))
+	ch.captures = 0
+}
+
 // Warp applies only the geometric stage (perspective + lens distortion +
 // per-capture jitter) to a rendered frame, returning a capture-resolution
 // image on a black background. The same jitter draw is used for the whole

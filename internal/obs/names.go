@@ -86,6 +86,23 @@ const (
 	// captures' soft tables across retransmission rounds (HARQ).
 	MTransportCombinedDecodes = "rainbar_transport_combined_decodes_total"
 
+	// --- serve: the multi-session daemon ---
+
+	// MServeSubmitted counts sessions admitted via Submit.
+	MServeSubmitted = "rainbar_serve_sessions_submitted_total"
+	// MServeRestored counts sessions admitted via snapshot Restore.
+	MServeRestored = "rainbar_serve_sessions_restored_total"
+	// MServeRejectedOverload counts admissions refused at the MaxSessions
+	// bound (the backpressure signal).
+	MServeRejectedOverload = "rainbar_serve_rejected_overload_total"
+	// MServeFinished counts sessions reaching a terminal state; label
+	// state is done, failed or canceled.
+	MServeFinished = "rainbar_serve_sessions_finished_total"
+	// MServeRounds counts display rounds stepped across all sessions.
+	MServeRounds = "rainbar_serve_rounds_total"
+	// MServeSnapshots counts session snapshots taken.
+	MServeSnapshots = "rainbar_serve_snapshots_total"
+
 	// --- experiment: the sweep-point worker pool ---
 
 	// MExperimentPoints counts sweep points executed.

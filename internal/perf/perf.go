@@ -43,6 +43,23 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// ServeStats summarizes a rainbar-serve loadtest run (the
+// internal/serve/loadgen harness): fleet-level throughput and simulated
+// round-latency percentiles. Snapshots written by `rainbar-serve
+// -loadtest -perf-json` carry one alongside (or instead of) the kernel
+// results.
+type ServeStats struct {
+	Fleet           int     `json:"fleet"`
+	Workers         int     `json:"workers"`
+	Completed       int     `json:"completed"`
+	Failed          int     `json:"failed"`
+	Rounds          int     `json:"rounds"`
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	P50RoundSeconds float64 `json:"p50_round_seconds"`
+	P99RoundSeconds float64 `json:"p99_round_seconds"`
+	BytesPerSession float64 `json:"bytes_per_session"`
+}
+
 // Snapshot is a full benchmark run plus the host/build context needed to
 // interpret it.
 type Snapshot struct {
@@ -53,8 +70,24 @@ type Snapshot struct {
 	GOARCH     string   `json:"goarch"`
 	NumCPU     int      `json:"num_cpu"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchtime  string   `json:"benchtime"`
-	Results    []Result `json:"results"`
+	Benchtime  string   `json:"benchtime,omitempty"`
+	Results    []Result `json:"results,omitempty"`
+	// Serve is present on serve-loadtest snapshots only.
+	Serve *ServeStats `json:"serve,omitempty"`
+}
+
+// Describe returns a snapshot carrying only host/build context (no kernel
+// results), for harnesses that fill in their own sections.
+func Describe() *Snapshot {
+	return &Snapshot{
+		Schema:     Schema,
+		GitRev:     gitRev(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }
 
 // WriteJSON writes the snapshot as indented JSON with a trailing newline.
@@ -84,16 +117,8 @@ func Collect(benchtime string) (*Snapshot, error) {
 	if err := flag.Set("test.benchtime", benchtime); err != nil {
 		return nil, fmt.Errorf("perf: benchtime %q: %w", benchtime, err)
 	}
-	s := &Snapshot{
-		Schema:     Schema,
-		GitRev:     gitRev(),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchtime:  benchtime,
-	}
+	s := Describe()
+	s.Benchtime = benchtime
 	for _, k := range kernels {
 		fn, err := k.setup()
 		if err != nil {

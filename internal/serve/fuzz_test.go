@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+// classified reports whether err is one of the documented snapshot decode
+// errors.
+func classified(err error) bool {
+	return errors.Is(err, ErrBadSnapshot) ||
+		errors.Is(err, ErrSnapshotVersion) ||
+		errors.Is(err, ErrSnapshotChecksum)
+}
+
+// FuzzSnapshotDecode hammers the snapshot decoder with corrupt and
+// truncated input: it must always return a classified error or a
+// structurally valid snapshot — never panic, and never hand back state
+// that then breaks the restore path with an unclassified error.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed corpus: real mid-transfer snapshots from a lossy transfer with
+	// combining enabled (non-trivial collector and soft tables), plus
+	// targeted corruptions of them.
+	var fac transportFactory
+	spec := propSpec("drop=0.6,seed=11", "combine")
+	drv, err := fac.New(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for round := 0; ; round++ {
+		state, err := drv.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		env, err := EncodeSnapshot(&Snapshot{ID: 7, State: StateTransferring, Spec: spec, DriverState: state})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(env)
+		f.Add(env[:len(env)*3/4]) // truncation
+		flipped := append([]byte(nil), env...)
+		flipped[len(flipped)/2] ^= 0x40 // bit rot mid-payload
+		f.Add(flipped)
+		f.Add(state) // raw driver state without envelope
+		info, err := drv.Step()
+		if err != nil {
+			f.Fatal(err)
+		}
+		if info.Done || round >= 2 {
+			break
+		}
+	}
+	f.Add([]byte("RBSS"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			if !classified(err) {
+				t.Fatalf("unclassified envelope error: %v", err)
+			}
+			return
+		}
+		// The envelope decoded; the driver state inside must either decode
+		// or fail classified — and whatever decodes must be rejected or
+		// accepted cleanly by the restore path, never panic it.
+		if _, err := decodeXferState(snap.DriverState); err != nil {
+			if !classified(err) {
+				t.Fatalf("unclassified state error: %v", err)
+			}
+			return
+		}
+		// The restore path may reject (bad spec, inconsistent state) but
+		// must never panic or silently accept an inconsistent transfer.
+		_, _ = (transportFactory{}).Restore(snap.Spec, snap.DriverState)
+
+		// Arbitrary bytes straight into the state decoder as well: the
+		// envelope CRC shields it in production, but it must hold its own.
+		if _, err := decodeXferState(data); err != nil && !classified(err) {
+			t.Fatalf("unclassified raw state error: %v", err)
+		}
+	})
+}

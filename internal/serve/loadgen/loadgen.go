@@ -1,0 +1,231 @@
+// Package loadgen drives a serve.Server with a synthetic fleet of
+// transfer sessions and reports throughput and latency: sessions/sec,
+// p50/p99 simulated round latency, and bytes per session. It is the
+// engine behind `rainbar-serve -loadtest` and the committed
+// BENCH_<n>.json serve snapshots.
+//
+// loadgen lives under the serve determinism contract: every per-session
+// seed is mixed from Config.Seed and the session index, the clock is
+// injected (pass *obs.ManualClock for bit-reproducible reports), and the
+// report depends only on the Config — never on worker interleaving.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rainbar/internal/obs"
+	"rainbar/internal/serve"
+	"rainbar/internal/workload"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Fleet is the number of sessions to run (default 32).
+	Fleet int
+	// Workers sizes the server's stepping pool (default 4). Worker count
+	// affects wall time only, never the report's deterministic fields.
+	Workers int
+	// PayloadBytes is the per-session payload size (default 400, a
+	// multi-chunk transfer at the default geometry).
+	PayloadBytes int
+	// Seed is the base seed; session i's payload, link and fault seeds
+	// are all mixed from (Seed, i).
+	Seed int64
+	// Recovery is the decode-recovery mode for every session (default
+	// "combine", the full ladder).
+	Recovery string
+	// FaultSpecs are faults.ParseSpec strings rotated across the fleet
+	// (session i gets FaultSpecs[i%len]); a per-session seed is appended
+	// to each non-empty spec unless it already fixes one. Empty slice
+	// means clean links.
+	FaultSpecs []string
+	// MaxRounds bounds each session's retransmission rounds (default 8).
+	MaxRounds int
+	// ScreenW, ScreenH, Block set the barcode geometry (default 400x192,
+	// block 8 — the smallest valid layout, keeping smoke runs fast).
+	ScreenW, ScreenH, Block int
+	// DisplayRate is the sender rate in fps (default 10).
+	DisplayRate float64
+	// Clock measures elapsed wall time. Required: loadgen is contract
+	// code and cannot construct clocks. A *obs.ManualClock pins Elapsed
+	// to the simulated air time, making the whole report deterministic.
+	Clock obs.Clock
+	// Recorder, when set, receives the server's serve_* metrics.
+	Recorder obs.Recorder
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Fleet <= 0 {
+		cfg.Fleet = 32
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 400
+	}
+	if cfg.Recovery == "" {
+		cfg.Recovery = "combine"
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 8
+	}
+	if cfg.ScreenW == 0 && cfg.ScreenH == 0 && cfg.Block == 0 {
+		cfg.ScreenW, cfg.ScreenH, cfg.Block = 400, 192, 8
+	}
+	if cfg.DisplayRate <= 0 {
+		cfg.DisplayRate = 10
+	}
+	return cfg
+}
+
+// Report is one load run's outcome. All fields except Elapsed and
+// SessionsPerSec are pure functions of the Config; with a manual clock
+// those two are as well.
+type Report struct {
+	Fleet, Workers    int
+	Completed, Failed int
+	// Rounds is the total display rounds stepped across the fleet.
+	Rounds int
+	// BytesDelivered sums the payload bytes of completed sessions.
+	BytesDelivered int
+	// SimAir is the fleet's cumulative simulated display time.
+	SimAir time.Duration
+	// RoundP50, RoundP99 are percentiles of per-round simulated display
+	// time across every round of every session.
+	RoundP50, RoundP99 time.Duration
+	// Elapsed is the run's clock time (simulated air time under a manual
+	// clock that nothing else advances).
+	Elapsed time.Duration
+	// SessionsPerSec is Fleet over Elapsed.
+	SessionsPerSec float64
+	// BytesPerSession is BytesDelivered over Completed (0 when none).
+	BytesPerSession float64
+}
+
+// mix derives a per-session seed stream from the base seed: splitmix64
+// over (base, n), matching the serve package's per-round mixing discipline.
+func mix(base int64, n uint64) int64 {
+	x := uint64(base) + 0x9E3779B97F4A7C15*(n+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// specFor builds session i's spec from the run config.
+func (cfg Config) specFor(i int) serve.SessionSpec {
+	seed := mix(cfg.Seed, uint64(i))
+	spec := serve.SessionSpec{
+		Payload:     workload.Text(cfg.PayloadBytes, seed),
+		ScreenW:     cfg.ScreenW,
+		ScreenH:     cfg.ScreenH,
+		Block:       cfg.Block,
+		DisplayRate: cfg.DisplayRate,
+		CamSeed:     mix(seed, 1),
+		Recovery:    cfg.Recovery,
+		MaxRounds:   cfg.MaxRounds,
+	}
+	spec.Channel.Seed = mix(seed, 2)
+	if len(cfg.FaultSpecs) > 0 {
+		fs := cfg.FaultSpecs[i%len(cfg.FaultSpecs)]
+		if fs != "" && !strings.Contains(fs, "seed=") {
+			// faults.ParseSpec reads the seed through a float64, so keep
+			// the mixed value inside its exactly-representable range.
+			fs = fmt.Sprintf("%s,seed=%d", fs, mix(seed, 3)&0x7FFFFFFF)
+		}
+		spec.Faults = fs
+	}
+	return spec
+}
+
+// Run executes the fleet to completion and aggregates the report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("loadgen: Config.Clock is required (inject obs.NewWallClock() or a *obs.ManualClock)")
+	}
+	start := cfg.Clock.Now()
+	srv := serve.NewServer(serve.Config{
+		MaxSessions: cfg.Fleet,
+		Workers:     cfg.Workers,
+		Recorder:    cfg.Recorder,
+	})
+	for i := 0; i < cfg.Fleet; i++ {
+		if _, err := srv.Submit(cfg.specFor(i)); err != nil {
+			srv.Stop()
+			return nil, fmt.Errorf("loadgen: submit session %d: %w", i, err)
+		}
+	}
+	srv.Drain()
+
+	r := &Report{Fleet: cfg.Fleet, Workers: cfg.Workers}
+	var airs []time.Duration
+	for _, info := range srv.Sessions() {
+		if info.State == serve.StateDone {
+			r.Completed++
+			r.BytesDelivered += info.Bytes
+		} else {
+			r.Failed++
+		}
+		r.Rounds += info.Rounds
+		r.SimAir += info.Air
+		airs = append(airs, info.RoundAirs...)
+	}
+	sort.Slice(airs, func(i, j int) bool { return airs[i] < airs[j] })
+	r.RoundP50 = quantile(airs, 0.50)
+	r.RoundP99 = quantile(airs, 0.99)
+	if r.Completed > 0 {
+		r.BytesPerSession = float64(r.BytesDelivered) / float64(r.Completed)
+	}
+	r.Elapsed = cfg.Clock.Now() - start
+	if r.Elapsed <= 0 {
+		// A manual clock nothing advanced reads as zero elapsed; define
+		// throughput against simulated air so the report stays meaningful
+		// and byte-reproducible.
+		r.Elapsed = r.SimAir
+	}
+	if r.Elapsed > 0 {
+		r.SessionsPerSec = float64(r.Fleet) / r.Elapsed.Seconds()
+	}
+	return r, nil
+}
+
+// quantile reads the q-th quantile from an ascending slice (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Table renders the report as the loadtest's fixed-format text block.
+// The layout is byte-stable for a given report (golden-tested), so CI
+// can diff it across runs.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rainbar-serve loadtest\n")
+	fmt.Fprintf(&b, "  fleet           %d\n", r.Fleet)
+	fmt.Fprintf(&b, "  workers         %d\n", r.Workers)
+	fmt.Fprintf(&b, "  completed       %d\n", r.Completed)
+	fmt.Fprintf(&b, "  failed          %d\n", r.Failed)
+	fmt.Fprintf(&b, "  rounds          %d\n", r.Rounds)
+	fmt.Fprintf(&b, "  sim air         %v\n", r.SimAir)
+	fmt.Fprintf(&b, "  p50 round       %v\n", r.RoundP50)
+	fmt.Fprintf(&b, "  p99 round       %v\n", r.RoundP99)
+	fmt.Fprintf(&b, "  bytes/session   %.1f\n", r.BytesPerSession)
+	fmt.Fprintf(&b, "  sessions/sec    %.3f\n", r.SessionsPerSec)
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rainbar/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden_loadgen.txt from the current harness output")
+
+const goldenPath = "testdata/golden_loadgen.txt"
+
+// goldenConfig is the fixed fleet whose report is pinned byte-for-byte:
+// a mixed clean/lossy fleet with a manual clock, so every field of the
+// report — percentiles and throughput included — is deterministic.
+func goldenConfig(workers int) Config {
+	return Config{
+		Fleet:        6,
+		Workers:      workers,
+		Seed:         42,
+		PayloadBytes: 900,
+		FaultSpecs:   []string{"", "drop=0.8,occlude=0.5"},
+		MaxRounds:    6,
+		Clock:        &obs.ManualClock{},
+	}
+}
+
+// TestGoldenReport pins the loadtest report. A diff here means either an
+// intentional pipeline/harness change (regenerate with `go test
+// ./internal/serve/loadgen -run TestGoldenReport -update`) or a lost
+// determinism guarantee.
+func TestGoldenReport(t *testing.T) {
+	rep, err := Run(goldenConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Table()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("loadtest report changed (regenerate with -update if intentional)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	if rep.Completed == 0 {
+		t.Fatal("degenerate golden fleet: no session completed")
+	}
+	if rep.Rounds <= rep.Fleet {
+		t.Fatalf("degenerate golden fleet: %d rounds for %d sessions — the lossy slice is not retransmitting", rep.Rounds, rep.Fleet)
+	}
+	if rep.RoundP99 <= 0 || rep.SessionsPerSec <= 0 {
+		t.Fatalf("report has unpopulated latency/throughput: %+v", rep)
+	}
+}
+
+// TestReportWorkerInvariance pins the harness's determinism contract:
+// the report (not just the payloads) is identical at any worker count.
+func TestReportWorkerInvariance(t *testing.T) {
+	a, err := Run(goldenConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(goldenConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers is the one field that is supposed to differ.
+	b.Workers = a.Workers
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("report depends on worker count:\n 1: %+v\n 8: %+v", a, b)
+	}
+}
+
+// TestRunRequiresClock pins the contract-driven API shape: loadgen never
+// constructs a clock behind the caller's back.
+func TestRunRequiresClock(t *testing.T) {
+	if _, err := Run(Config{Fleet: 1}); err == nil {
+		t.Fatal("Run accepted a nil clock")
+	}
+}

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rainbar/internal/obs"
+	"rainbar/internal/transport"
+)
+
+// Config configures a Server.
+type Config struct {
+	// MaxSessions bounds concurrently live (non-terminal) sessions;
+	// admission past it fails with ErrOverloaded (default 1024).
+	MaxSessions int
+	// Workers is the stepping-pool size (default 4). Worker count affects
+	// only scheduling, never session outcomes.
+	Workers int
+	// Factory builds session drivers; nil uses the transport-backed
+	// factory (real transfers over the simulated link).
+	Factory Factory
+	// Recorder, when set, counts admissions, rejections, completions,
+	// rounds and snapshots. Session outcomes never depend on it.
+	Recorder obs.Recorder
+}
+
+// SessionInfo is a registry read of one session.
+type SessionInfo struct {
+	ID    uint64
+	State State
+	// Rounds is the number of display rounds stepped so far.
+	Rounds int
+	// Air is the cumulative simulated display time.
+	Air time.Duration
+	// RoundAirs lists each stepped round's simulated display time (the
+	// load harness derives round-latency percentiles from these).
+	RoundAirs []time.Duration
+	// Bytes is the delivered payload size (terminal Done sessions only).
+	Bytes int
+	// Err is the terminal failure, "" otherwise.
+	Err string
+}
+
+// session is one registry entry. Its mutex is held for the whole of every
+// step, so Snapshot and Cancel always observe a round boundary. Lock order
+// is session.mu before Server.mu; the server never calls into a session
+// while holding its own lock.
+type session struct {
+	id uint64
+
+	mu     sync.Mutex
+	state  State
+	drv    Driver
+	spec   SessionSpec
+	cancel bool
+	rounds int
+	air    time.Duration
+	airs   []time.Duration
+	result []byte
+	stats  *transport.Stats
+	err    error
+	queued bool
+}
+
+// Server multiplexes transfer sessions over a bounded worker pool. Every
+// non-terminal session is either sitting in the run queue or being stepped
+// by exactly one worker; terminal sessions stay in the registry (for
+// Result/Info reads) until Remove.
+type Server struct {
+	cfg     Config
+	factory Factory
+	rec     obs.Recorder
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when active drops to zero
+	sessions map[uint64]*session
+	nextID   uint64
+	active   int  // non-terminal sessions
+	stopped  bool // admission closed
+	closed   bool // stop channel closed
+
+	queue chan *session
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer starts a server and its worker pool.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	s := &Server{
+		cfg:      cfg,
+		factory:  cfg.Factory,
+		rec:      obs.OrNop(cfg.Recorder),
+		sessions: make(map[uint64]*session),
+		// Capacity MaxSessions keeps enqueue non-blocking: at most
+		// MaxSessions sessions are live and each holds at most one queue
+		// slot (the queued flag), so workers can never deadlock re-queuing.
+		queue: make(chan *session, cfg.MaxSessions),
+		stop:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if s.factory == nil {
+		s.factory = transportFactory{rec: cfg.Recorder}
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a new session and returns its id. Fails with
+// ErrOverloaded at the MaxSessions bound and ErrStopped after shutdown
+// began.
+func (s *Server) Submit(spec SessionSpec) (uint64, error) {
+	drv, err := s.factory.New(spec)
+	if err != nil {
+		return 0, err
+	}
+	return s.admit(spec, drv, obs.MServeSubmitted)
+}
+
+// Restore decodes a snapshot and admits the session it describes under a
+// fresh id. Terminal-state snapshots are rejected: there is nothing left
+// to run, and silently re-completing a finished transfer would double
+// count it.
+func (s *Server) Restore(data []byte) (uint64, error) {
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return 0, err
+	}
+	if snap.State.Terminal() {
+		return 0, fmt.Errorf("%w: snapshot of %s session", ErrSessionTerminal, snap.State)
+	}
+	drv, err := s.factory.Restore(snap.Spec, snap.DriverState)
+	if err != nil {
+		return 0, err
+	}
+	return s.admit(snap.Spec, drv, obs.MServeRestored)
+}
+
+// admit registers a driver-backed session and queues its first step.
+func (s *Server) admit(spec SessionSpec, drv Driver, metric string) (uint64, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	if s.active >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.rec.Inc(obs.MServeRejectedOverload, 1)
+		return 0, ErrOverloaded
+	}
+	s.nextID++
+	sess := &session{id: s.nextID, state: StateIdle, drv: drv, spec: spec, queued: true}
+	s.sessions[sess.id] = sess
+	s.active++
+	s.mu.Unlock()
+	s.rec.Inc(metric, 1)
+	s.queue <- sess
+	return sess.id, nil
+}
+
+// worker steps queued sessions until the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Closed stop wins over a ready queue, so Stop halts promptly
+		// instead of racing the select's random choice.
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case sess := <-s.queue:
+			s.step(sess)
+		}
+	}
+}
+
+// step advances one session by one round and re-queues or finalizes it.
+func (s *Server) step(sess *session) {
+	sess.mu.Lock()
+	sess.queued = false
+	if sess.state.Terminal() {
+		sess.mu.Unlock()
+		return
+	}
+	if sess.cancel {
+		sess.state = StateCanceled
+		sess.err = ErrCanceled
+		sess.mu.Unlock()
+		s.finished(StateCanceled)
+		return
+	}
+	info, err := sess.drv.Step()
+	if info.Air > 0 {
+		sess.rounds++
+		sess.air += info.Air
+		sess.airs = append(sess.airs, info.Air)
+		s.rec.Inc(obs.MServeRounds, 1)
+	}
+	switch {
+	case err != nil:
+		sess.state = StateFailed
+		sess.err = err
+	case info.Done:
+		result, stats, rerr := sess.drv.Result()
+		sess.result, sess.stats, sess.err = result, stats, rerr
+		if rerr != nil {
+			sess.state = StateFailed
+		} else {
+			sess.state = StateDone
+		}
+	case info.Progress:
+		sess.state = StateTransferring
+	default:
+		sess.state = StateStalled
+	}
+	terminal := sess.state.Terminal()
+	if !terminal {
+		sess.queued = true
+	}
+	final := sess.state
+	sess.mu.Unlock()
+
+	if terminal {
+		s.finished(final)
+	} else {
+		s.queue <- sess
+	}
+}
+
+// finished retires one live session and wakes Drain when none remain.
+func (s *Server) finished(st State) {
+	s.rec.Inc(obs.With(obs.MServeFinished, "state", st.String()), 1)
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// lookup fetches a registry entry.
+func (s *Server) lookup(id uint64) (*session, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	return sess, nil
+}
+
+// Cancel marks a session for cancelation; it terminates at its next
+// dequeue without running further rounds.
+func (s *Server) Cancel(id uint64) error {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state.Terminal() {
+		return fmt.Errorf("%w: %d is %s", ErrSessionTerminal, id, sess.state)
+	}
+	sess.cancel = true
+	return nil
+}
+
+// Snapshot serializes a live session at its current round boundary (the
+// call waits out any in-flight round). The session keeps running; the
+// snapshot is a consistent copy, not a detach.
+func (s *Server) Snapshot(id uint64) ([]byte, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state.Terminal() {
+		return nil, fmt.Errorf("%w: %d is %s", ErrSessionTerminal, id, sess.state)
+	}
+	drvState, err := sess.drv.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.rec.Inc(obs.MServeSnapshots, 1)
+	return EncodeSnapshot(&Snapshot{ID: id, State: sess.state, Spec: sess.spec, DriverState: drvState})
+}
+
+// Result returns a terminal session's delivered payload and statistics
+// (ErrSessionActive while rounds may still run).
+func (s *Server) Result(id uint64) ([]byte, *transport.Stats, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.state.Terminal() {
+		return nil, nil, fmt.Errorf("%w: %d is %s", ErrSessionActive, id, sess.state)
+	}
+	return sess.result, sess.stats, sess.err
+}
+
+// Info reads one session's registry entry.
+func (s *Server) Info(id uint64) (SessionInfo, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return s.infoOf(sess), nil
+}
+
+func (s *Server) infoOf(sess *session) SessionInfo {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	info := SessionInfo{
+		ID:        sess.id,
+		State:     sess.state,
+		Rounds:    sess.rounds,
+		Air:       sess.air,
+		RoundAirs: append([]time.Duration(nil), sess.airs...),
+		Bytes:     len(sess.result),
+	}
+	if sess.err != nil {
+		info.Err = sess.err.Error()
+	}
+	return info
+}
+
+// Sessions lists every registry entry in ascending id order.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]SessionInfo, 0, len(all))
+	for _, sess := range all {
+		out = append(out, s.infoOf(sess))
+	}
+	return out
+}
+
+// Active returns the number of live (non-terminal) sessions.
+func (s *Server) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Remove deletes a terminal session from the registry.
+func (s *Server) Remove(id uint64) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	sess.mu.Lock()
+	terminal := sess.state.Terminal()
+	sess.mu.Unlock()
+	if !terminal {
+		return fmt.Errorf("%w: %d", ErrSessionActive, id)
+	}
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// Drain stops admission, lets every live session run to a terminal state,
+// then stops the workers. Safe to call once; returns when the pool is
+// idle.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.stopped = true
+	for s.active > 0 {
+		s.cond.Wait()
+	}
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+// Stop halts the pool as soon as in-flight rounds finish, leaving
+// non-terminal sessions in the registry at round boundaries — exactly the
+// state Snapshot serializes, so a stopping daemon can persist and migrate
+// its live sessions.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"time"
+
+	"rainbar/internal/colorspace"
+	"rainbar/internal/core"
+	"rainbar/internal/transport"
+)
+
+// Snapshot classified decode errors; match with errors.Is. Every decode
+// failure maps to exactly one of these — corrupt or truncated input is
+// rejected, never partially restored.
+var (
+	// ErrBadSnapshot reports structurally invalid snapshot bytes.
+	ErrBadSnapshot = errors.New("serve: malformed snapshot")
+	// ErrSnapshotVersion reports an unsupported format version.
+	ErrSnapshotVersion = errors.New("serve: unsupported snapshot version")
+	// ErrSnapshotChecksum reports a CRC mismatch (bit rot or truncation).
+	ErrSnapshotChecksum = errors.New("serve: snapshot checksum mismatch")
+)
+
+// snapshot envelope format, version 1 (all integers little-endian):
+//
+//	offset size
+//	0      4    magic "RBSS"
+//	4      2    version (currently 1)
+//	6      8    session id
+//	14     1    session state byte
+//	15     4    spec length NS, then NS bytes of SessionSpec JSON
+//	...    4    driver-state length ND, then ND bytes (opaque to the
+//	            envelope; the transport driver stores an xferState)
+//	...    4    CRC-32 (IEEE) over every preceding byte
+const (
+	snapshotMagic   = "RBSS"
+	snapshotVersion = 1
+)
+
+// Snapshot is a decoded session snapshot.
+type Snapshot struct {
+	// ID is the session id in the daemon that took the snapshot (a
+	// restore assigns a fresh id).
+	ID uint64
+	// State is the session's lifecycle state at snapshot time.
+	State State
+	// Spec rebuilds the deterministic link.
+	Spec SessionSpec
+	// DriverState is the driver's opaque mid-transfer state.
+	DriverState []byte
+}
+
+// EncodeSnapshot serializes a session snapshot into the versioned,
+// CRC-guarded envelope.
+func EncodeSnapshot(snap *Snapshot) ([]byte, error) {
+	spec, err := json.Marshal(snap.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode snapshot spec: %w", err)
+	}
+	buf := make([]byte, 0, 15+4+len(spec)+4+len(snap.DriverState)+4)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, snap.ID)
+	buf = append(buf, byte(snap.State))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spec)))
+	buf = append(buf, spec...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap.DriverState)))
+	buf = append(buf, snap.DriverState...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// DecodeSnapshot parses and validates a snapshot envelope. Corrupt or
+// truncated input returns a classified error (ErrBadSnapshot,
+// ErrSnapshotVersion, ErrSnapshotChecksum); it never panics and never
+// returns partially restored state.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < 15+4+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrBadSnapshot, len(data))
+	}
+	if string(data[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w", ErrSnapshotChecksum)
+	}
+	snap := &Snapshot{
+		ID:    binary.LittleEndian.Uint64(data[6:]),
+		State: State(data[14]),
+	}
+	if snap.State > StateCanceled {
+		return nil, fmt.Errorf("%w: unknown state byte %d", ErrBadSnapshot, data[14])
+	}
+	rest := body[15:]
+	specLen := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(specLen) > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: spec length %d exceeds payload", ErrBadSnapshot, specLen)
+	}
+	if err := json.Unmarshal(rest[:specLen], &snap.Spec); err != nil {
+		return nil, fmt.Errorf("%w: spec: %w", ErrBadSnapshot, err)
+	}
+	rest = rest[specLen:]
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: driver-state length missing", ErrBadSnapshot)
+	}
+	stateLen := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(stateLen) != uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: driver-state length %d, %d bytes remain", ErrBadSnapshot, stateLen, len(rest))
+	}
+	snap.DriverState = append([]byte(nil), rest...)
+	return snap, nil
+}
+
+// --- transport.XferState binary codec ---
+//
+// The driver-state payload is a flat field-by-field encoding: uvarints for
+// counts, zigzag varints for signed values, IEEE-754 bits for floats, and
+// explicit lengths everywhere. Maps are emitted in sorted key order so
+// equal states encode to equal bytes. Every length read is bounded by the
+// bytes actually remaining, so truncated input fails cleanly instead of
+// allocating from attacker-controlled counts.
+
+type sswriter struct{ buf []byte }
+
+func (w *sswriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *sswriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *sswriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *sswriter) byte(v byte)    { w.buf = append(w.buf, v) }
+func (w *sswriter) bytes(v []byte) { w.uvarint(uint64(len(v))); w.buf = append(w.buf, v...) }
+func (w *sswriter) str(v string)   { w.bytes([]byte(v)) }
+
+func (w *sswriter) boolByte(v bool) {
+	if v {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+}
+
+type ssreader struct {
+	buf []byte
+	err error
+}
+
+func (r *ssreader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrBadSnapshot}, args...)...)
+	}
+}
+
+func (r *ssreader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *ssreader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *ssreader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *ssreader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.fail("truncated byte")
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *ssreader) boolByte() bool { return r.byteVal() != 0 }
+
+// count reads a uvarint length and bounds it by the bytes remaining (each
+// counted element occupies at least minElem bytes), so corrupt counts
+// cannot drive huge allocations.
+func (r *ssreader) count(minElem int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElem < 1 {
+		minElem = 1
+	}
+	if v > uint64(len(r.buf)/minElem) {
+		r.fail("count %d exceeds %d remaining bytes", v, len(r.buf))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *ssreader) bytesVal() []byte {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *ssreader) str() string { return string(r.bytesVal()) }
+
+// encodeXferState serializes a transport snapshot for the envelope.
+func encodeXferState(st *transport.XferState) []byte {
+	w := &sswriter{}
+	w.uvarint(uint64(st.Round))
+	w.uvarint(uint64(st.NextSeq))
+	w.f64(st.Rate)
+	w.uvarint(uint64(st.Stall))
+	w.boolByte(st.Done)
+
+	w.uvarint(uint64(len(st.Missing)))
+	for _, ci := range st.Missing {
+		w.uvarint(uint64(ci))
+	}
+
+	c := st.Collector
+	w.boolByte(c.HaveMeta)
+	w.varint(int64(c.Total))
+	w.uvarint(uint64(c.FileLen))
+	w.uvarint(uint64(c.App))
+	cis := make([]int, 0, len(c.Chunks))
+	for ci := range c.Chunks {
+		cis = append(cis, ci)
+	}
+	sort.Ints(cis) // canonical chunk order: equal states → equal bytes
+	w.uvarint(uint64(len(cis)))
+	for _, ci := range cis {
+		w.uvarint(uint64(ci))
+		w.bytes(c.Chunks[ci])
+	}
+
+	if st.Combiner == nil {
+		w.boolByte(false)
+	} else {
+		w.boolByte(true)
+		w.uvarint(uint64(len(st.Combiner.Chunks)))
+		for _, ch := range st.Combiner.Chunks {
+			w.uvarint(uint64(ch.Index))
+			w.uvarint(uint64(len(ch.Cells)))
+			for _, cell := range ch.Cells {
+				w.byte(byte(cell))
+			}
+			for _, conf := range ch.Conf {
+				w.f64(conf)
+			}
+		}
+	}
+
+	encodeStats(w, &st.Stats)
+	return w.buf
+}
+
+// decodeXferState parses the driver-state payload; errors wrap
+// ErrBadSnapshot. Cross-field consistency (missing indices in range, soft
+// table shapes, manifest agreement) is enforced a second time by
+// transport.Session.Resume — this layer only guarantees structural sanity.
+func decodeXferState(data []byte) (*transport.XferState, error) {
+	r := &ssreader{buf: data}
+	st := &transport.XferState{}
+	st.Round = int(r.uvarint())
+	st.NextSeq = uint16(r.uvarint())
+	st.Rate = r.f64()
+	st.Stall = int(r.uvarint())
+	st.Done = r.boolByte()
+
+	n := r.count(1)
+	for i := 0; i < n && r.err == nil; i++ {
+		st.Missing = append(st.Missing, int(r.uvarint()))
+	}
+
+	st.Collector.HaveMeta = r.boolByte()
+	st.Collector.Total = int(r.varint())
+	st.Collector.FileLen = int(r.uvarint())
+	st.Collector.App = transport.AppType(r.uvarint())
+	nChunks := r.count(2)
+	if nChunks > 0 && r.err == nil {
+		st.Collector.Chunks = make(map[int][]byte, nChunks)
+		for i := 0; i < nChunks && r.err == nil; i++ {
+			ci := int(r.uvarint())
+			body := r.bytesVal()
+			if _, dup := st.Collector.Chunks[ci]; dup {
+				r.fail("duplicate collector chunk %d", ci)
+			}
+			st.Collector.Chunks[ci] = body
+		}
+	}
+	if st.Collector.Chunks == nil {
+		st.Collector.Chunks = map[int][]byte{}
+	}
+
+	if r.boolByte() {
+		st.Combiner = &transport.CombinerState{}
+		nt := r.count(2)
+		for i := 0; i < nt && r.err == nil; i++ {
+			ch := transport.CombinerChunk{Index: int(r.uvarint())}
+			nc := r.count(1)
+			if r.err == nil && nc > len(r.buf) {
+				r.fail("soft table cells exceed payload")
+			}
+			for j := 0; j < nc && r.err == nil; j++ {
+				ch.Cells = append(ch.Cells, colorspace.Color(r.byteVal()))
+			}
+			for j := 0; j < nc && r.err == nil; j++ {
+				ch.Conf = append(ch.Conf, r.f64())
+			}
+			st.Combiner.Chunks = append(st.Combiner.Chunks, ch)
+		}
+	}
+
+	decodeStats(r, &st.Stats)
+	if r.err == nil && len(r.buf) != 0 {
+		r.fail("%d trailing bytes", len(r.buf))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+func encodeStats(w *sswriter, s *transport.Stats) {
+	w.uvarint(uint64(s.Rounds))
+	w.uvarint(uint64(s.FramesSent))
+	w.uvarint(uint64(s.FramesNeeded))
+	w.uvarint(uint64(s.ChunksDelivered))
+	w.varint(int64(s.AirTime))
+	w.f64(s.Goodput)
+	w.uvarint(uint64(s.App))
+	w.uvarint(uint64(s.RateFallbacks))
+	w.f64(s.FinalDisplayRate)
+	w.uvarint(uint64(s.FramesDropped))
+	w.uvarint(uint64(s.LadderAttempts))
+	w.uvarint(uint64(s.CombinedDecodes))
+
+	rates := make([]float64, 0, len(s.RateRounds))
+	for rate := range s.RateRounds {
+		rates = append(rates, rate)
+	}
+	sort.Float64s(rates) // canonical map order for byte-stable snapshots
+	w.uvarint(uint64(len(rates)))
+	for _, rate := range rates {
+		w.f64(rate)
+		w.uvarint(uint64(s.RateRounds[rate]))
+	}
+
+	encodeStrMap(w, s.DecodeFailures, func(k core.FailureClass) string { return string(k) })
+	encodeStrMap(w, s.FaultCounts, func(k string) string { return k })
+	encodeStrMap(w, s.LadderSuccessesByHypothesis, func(k string) string { return k })
+}
+
+// encodeStrMap writes a string-keyed count map in sorted key order.
+func encodeStrMap[K comparable](w *sswriter, m map[K]int, key func(K) string) {
+	keys := make([]string, 0, len(m))
+	byKey := make(map[string]int, len(m))
+	for k, v := range m {
+		keys = append(keys, key(k))
+		byKey[key(k)] = v
+	}
+	sort.Strings(keys) // canonical map order for byte-stable snapshots
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.uvarint(uint64(byKey[k]))
+	}
+}
+
+func decodeStats(r *ssreader, s *transport.Stats) {
+	s.Rounds = int(r.uvarint())
+	s.FramesSent = int(r.uvarint())
+	s.FramesNeeded = int(r.uvarint())
+	s.ChunksDelivered = int(r.uvarint())
+	s.AirTime = time.Duration(r.varint())
+	s.Goodput = r.f64()
+	s.App = transport.AppType(r.uvarint())
+	s.RateFallbacks = int(r.uvarint())
+	s.FinalDisplayRate = r.f64()
+	s.FramesDropped = int(r.uvarint())
+	s.LadderAttempts = int(r.uvarint())
+	s.CombinedDecodes = int(r.uvarint())
+
+	if n := r.count(9); n > 0 && r.err == nil {
+		s.RateRounds = make(map[float64]int, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			rate := r.f64()
+			s.RateRounds[rate] = int(r.uvarint())
+		}
+	}
+	if n := r.count(2); n > 0 && r.err == nil {
+		s.DecodeFailures = make(map[core.FailureClass]int, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			s.DecodeFailures[core.FailureClass(r.str())] = int(r.uvarint())
+		}
+	}
+	if n := r.count(2); n > 0 && r.err == nil {
+		s.FaultCounts = make(map[string]int, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			s.FaultCounts[r.str()] = int(r.uvarint())
+		}
+	}
+	if n := r.count(2); n > 0 && r.err == nil {
+		s.LadderSuccessesByHypothesis = make(map[string]int, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			s.LadderSuccessesByHypothesis[r.str()] = int(r.uvarint())
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rainbar/internal/transport"
+)
+
+// fakeDriver is a trivial deterministic Driver for scheduler tests: it
+// "transfers" for a spec-derived number of rounds with no real link work,
+// so a thousand sessions step in milliseconds even under -race.
+type fakeDriver struct {
+	round, total int
+	fail         bool
+	payload      []byte
+}
+
+// fakeFactory derives the round count from spec.MaxRounds and failure
+// from spec.Recovery == "fail".
+type fakeFactory struct{}
+
+func (fakeFactory) New(spec SessionSpec) (Driver, error) {
+	total := spec.MaxRounds
+	if total <= 0 {
+		total = 3
+	}
+	return &fakeDriver{total: total, fail: spec.Recovery == "fail", payload: spec.Payload}, nil
+}
+
+func (fakeFactory) Restore(spec SessionSpec, state []byte) (Driver, error) {
+	if len(state) != 16 {
+		return nil, fmt.Errorf("%w: fake state is %d bytes", ErrBadSnapshot, len(state))
+	}
+	d, _ := fakeFactory{}.New(spec)
+	fd := d.(*fakeDriver)
+	fd.round = int(binary.LittleEndian.Uint64(state))
+	fd.total = int(binary.LittleEndian.Uint64(state[8:]))
+	return fd, nil
+}
+
+func (d *fakeDriver) Step() (StepInfo, error) {
+	if d.round >= d.total {
+		return StepInfo{Done: true}, nil
+	}
+	d.round++
+	if d.fail && d.round == d.total {
+		return StepInfo{Done: true, Air: time.Millisecond}, errors.New("fake link failure")
+	}
+	return StepInfo{Done: d.round >= d.total, Progress: true, Air: time.Millisecond}, nil
+}
+
+func (d *fakeDriver) Snapshot() ([]byte, error) {
+	state := make([]byte, 16)
+	binary.LittleEndian.PutUint64(state, uint64(d.round))
+	binary.LittleEndian.PutUint64(state[8:], uint64(d.total))
+	return state, nil
+}
+
+func (d *fakeDriver) Result() ([]byte, *transport.Stats, error) {
+	if d.round < d.total {
+		return nil, nil, ErrSessionActive
+	}
+	return d.payload, &transport.Stats{Rounds: d.round}, nil
+}
+
+// TestServeSoak runs 1000 concurrent sessions with interleaved snapshot,
+// restore and cancel traffic under the race detector: no session may be
+// lost, none may double-complete, and after Drain the registry holds only
+// terminal sessions and empties cleanly.
+func TestServeSoak(t *testing.T) {
+	const fleet = 1000
+	s := NewServer(Config{
+		// Headroom above the fleet so concurrent Restores are admitted.
+		MaxSessions: fleet * 2,
+		Workers:     8,
+		Factory:     fakeFactory{},
+	})
+
+	var admitted atomic.Int64 // sessions the registry must account for
+	var wg sync.WaitGroup
+	wg.Add(fleet)
+	for i := 0; i < fleet; i++ {
+		go func(i int) {
+			defer wg.Done()
+			spec := SessionSpec{
+				Payload:   []byte{byte(i), byte(i >> 8)},
+				MaxRounds: 2 + i%5,
+			}
+			if i%17 == 0 {
+				spec.Recovery = "fail" // a slice of the fleet fails
+			}
+			if _, err := s.Submit(spec); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			admitted.Add(1)
+		}(i)
+	}
+
+	// Interleaved registry traffic while the fleet runs: snapshots of live
+	// sessions, restores of those snapshots as new sessions, and cancels.
+	var chaos sync.WaitGroup
+	chaos.Add(3)
+	go func() {
+		defer chaos.Done()
+		rng := rand.New(rand.NewSource(1))
+		for n := 0; n < 400; n++ {
+			id := uint64(rng.Intn(fleet) + 1)
+			snap, err := s.Snapshot(id)
+			if err != nil {
+				// Not yet admitted or already terminal — both fine.
+				continue
+			}
+			if _, err := s.Restore(snap); err == nil {
+				admitted.Add(1)
+			} else if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrStopped) {
+				t.Errorf("restore: %v", err)
+			}
+		}
+	}()
+	go func() {
+		defer chaos.Done()
+		rng := rand.New(rand.NewSource(2))
+		for n := 0; n < 400; n++ {
+			id := uint64(rng.Intn(fleet) + 1)
+			// Unknown-session and already-terminal are expected outcomes.
+			_ = s.Cancel(id)
+		}
+	}()
+	go func() {
+		defer chaos.Done()
+		rng := rand.New(rand.NewSource(3))
+		for n := 0; n < 400; n++ {
+			id := uint64(rng.Intn(fleet) + 1)
+			if _, err := s.Info(id); err != nil && !errors.Is(err, ErrUnknownSession) {
+				t.Errorf("info: %v", err)
+			}
+		}
+	}()
+
+	wg.Wait()
+	chaos.Wait()
+	s.Drain()
+
+	// No lost sessions: everything admitted is in the registry, terminal.
+	all := s.Sessions()
+	if int64(len(all)) != admitted.Load() {
+		t.Fatalf("registry holds %d sessions, admitted %d", len(all), admitted.Load())
+	}
+	var done, failed, canceled int
+	for _, info := range all {
+		switch info.State {
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		case StateCanceled:
+			canceled++
+		default:
+			t.Fatalf("session %d not terminal after drain: %s", info.ID, info.State)
+		}
+	}
+	if done == 0 || failed == 0 {
+		t.Fatalf("degenerate soak: done=%d failed=%d canceled=%d", done, failed, canceled)
+	}
+
+	// No double completion: Result is stable and consistent with state.
+	for _, info := range all {
+		payload, _, err := s.Result(info.ID)
+		again, _, err2 := s.Result(info.ID)
+		if (err == nil) != (err2 == nil) || string(payload) != string(again) {
+			t.Fatalf("session %d: Result not stable", info.ID)
+		}
+		if info.State == StateDone && err != nil {
+			t.Fatalf("done session %d has error %v", info.ID, err)
+		}
+		if info.State != StateDone && err == nil {
+			t.Fatalf("%s session %d has a successful result", info.State, info.ID)
+		}
+	}
+
+	// Clean registry after drain: every entry removable, then empty.
+	for _, info := range all {
+		if err := s.Remove(info.ID); err != nil {
+			t.Fatalf("remove %d: %v", info.ID, err)
+		}
+	}
+	if left := s.Sessions(); len(left) != 0 {
+		t.Fatalf("%d sessions left after removal", len(left))
+	}
+	if _, err := s.Submit(SessionSpec{Payload: []byte{1}}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit after drain: %v, want ErrStopped", err)
+	}
+	t.Logf("soak: admitted=%d done=%d failed=%d canceled=%d", admitted.Load(), done, failed, canceled)
+}

@@ -199,108 +199,37 @@ func (s *Session) plan(nChunks int) (plan, error) {
 
 // Transfer sends data end to end and returns the receiver's reconstruction
 // with transfer statistics. The returned data is bit-exact or an error is
-// reported (text transfer "requires extremely high accuracy", §V).
+// reported (text transfer "requires extremely high accuracy", §V). It is
+// the one-shot form of Begin/Step/Seal.
 func (s *Session) Transfer(data []byte) ([]byte, *Stats, error) {
-	if len(data) == 0 {
-		return nil, nil, fmt.Errorf("transport: empty payload")
-	}
-	if err := s.Link.Validate(); err != nil {
-		return nil, nil, err
-	}
-
-	fc := FileCodec{Codec: s.Codec}
-	if fc.ChunkSize() <= 0 {
-		return nil, nil, fmt.Errorf("transport: frame capacity %d too small for chunk prefix", s.Codec.FrameCapacity())
-	}
-	nChunks := fc.NumChunks(len(data))
-	p, err := s.plan(nChunks)
+	x, err := s.Begin(data)
 	if err != nil {
 		return nil, nil, err
 	}
-	missing := make([]int, nChunks)
-	for i := range missing {
-		missing[i] = i
-	}
-
-	collector := NewCollector()
-	stats := &Stats{FramesNeeded: nChunks, App: Classify(data)}
-	faultBase, dropBase := s.faultBaseline()
-	var nextSeq uint16
-	var comb *combiner
-	if s.Combine {
-		comb = newCombiner()
-	}
-
-	s.obsInc(obs.MTransportTransfers, 1)
-	rate := s.Link.DisplayRate
-	stall := 0
-	for round := 1; round <= p.maxRounds && len(missing) > 0; round++ {
-		if stats.FramesSent+len(missing) > p.budget {
-			break // the next round would blow the retransmission budget
-		}
-		stats.Rounds = round
-		s.obsInc(obs.MTransportRounds, 1)
-		endRound := obs.OrNop(s.Recorder).Span(obs.MTransportRoundSeconds)
-		sent, airTime, err := s.sendRound(fc, data, missing, &nextSeq, collector, comb, rate, stats)
-		endRound()
+	for {
+		done, err := x.Step()
 		if err != nil {
 			return nil, nil, err
 		}
-		s.obsInc(obs.MTransportFramesSent, int64(sent))
-		if round > 1 {
-			s.obsInc(obs.MTransportRetransmits, int64(sent))
+		if done {
+			break
 		}
-		stats.FramesSent += sent
-		stats.AirTime += airTime
-		if stats.RateRounds == nil {
-			stats.RateRounds = make(map[float64]int)
-		}
-		stats.RateRounds[rate]++
+	}
+	return x.Seal()
+}
 
-		// Receiver feedback: the still-missing chunk indices.
-		before := len(missing)
-		if m := collector.Missing(); m != nil {
-			missing = m
-		}
-		if collector.Complete() {
-			missing = nil
-		}
-
-		// Graceful degradation: consecutive rounds that recover nothing
-		// mean the link cannot sustain this display rate; back the rate
-		// off (the paper's rate-adaptation knob) instead of burning the
-		// remaining rounds on identical failures.
-		if len(missing) > 0 && len(missing) >= before {
-			stall++
-		} else {
-			stall = 0
-		}
-		if stall >= p.stallN && rate > p.minRate {
-			rate = max(p.minRate, rate*rateBackoff)
-			stats.RateFallbacks++
-			s.obsInc(obs.MTransportRateFallbacks, 1)
-			stall = 0
-		}
+// Reset rewinds the session's link to its just-constructed state: the
+// channel PRNG and capture counter, and any fault-injector chains on the
+// channel or camera. A long-lived session can then run back-to-back
+// transfers, each bit-identical to what a freshly built session would
+// produce. Per-transfer decode state (collector, combiner soft tables,
+// stats) never lives on the Session, so nothing else needs clearing.
+func (s *Session) Reset() {
+	if s.Link.Channel != nil {
+		s.Link.Channel.Reset()
+		s.Link.Channel.Faults.Reset()
 	}
-	stats.FinalDisplayRate = rate
-	stats.ChunksDelivered = nChunks - len(missing)
-	s.faultDelta(stats, faultBase, dropBase)
-
-	if len(missing) > 0 {
-		return nil, stats, fmt.Errorf("transport: %d/%d chunks undelivered after %d rounds (%d/%d frame budget)",
-			len(missing), nChunks, stats.Rounds, stats.FramesSent, p.budget)
-	}
-	result, gotApp, err := collector.File()
-	if err != nil {
-		return nil, stats, err
-	}
-	if gotApp != stats.App {
-		return nil, stats, fmt.Errorf("transport: app type corrupted: sent %v, received %v", stats.App, gotApp)
-	}
-	if stats.AirTime > 0 {
-		stats.Goodput = float64(len(result)) / stats.AirTime.Seconds()
-	}
-	return result, stats, nil
+	s.Link.Camera.Faults.Reset()
 }
 
 // faultBaseline snapshots the camera's injector-chain counters so the
@@ -311,6 +240,8 @@ func (s *Session) faultBaseline() (map[string]int, int) {
 }
 
 // faultDelta folds the injector-chain activity since base into stats.
+// Deltas accumulate so a transfer can take a baseline per round; the chain
+// counters only grow, so per-round deltas sum to the whole-transfer delta.
 func (s *Session) faultDelta(stats *Stats, base map[string]int, dropBase int) {
 	ch := s.Link.Camera.Faults
 	if ch == nil {
@@ -321,10 +252,10 @@ func (s *Session) faultDelta(stats *Stats, base map[string]int, dropBase int) {
 			if stats.FaultCounts == nil {
 				stats.FaultCounts = make(map[string]int)
 			}
-			stats.FaultCounts[k] = d
+			stats.FaultCounts[k] += d
 		}
 	}
-	stats.FramesDropped = ch.Drops() - dropBase
+	stats.FramesDropped += ch.Drops() - dropBase
 }
 
 // sendRound displays the given chunks once at the given display rate,

@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rainbar/internal/channel"
+	"rainbar/internal/faults"
+	"rainbar/internal/workload"
+)
+
+// lossyTestSession builds a session whose link drops and occludes captures,
+// forcing retransmission rounds so mid-transfer state is non-trivial.
+func lossyTestSession(t *testing.T) *Session {
+	t.Helper()
+	s := testSession(t, channel.DefaultConfig(), 10)
+	s.Link.Camera.Faults = faults.NewChain(5,
+		faults.FrameDrop{P: 0.15},
+		faults.Occlusion{P: 0.2, Corners: true},
+	)
+	s.MaxRounds = 12
+	return s
+}
+
+// TestSessionResetBackToBackTransfers pins the Session.Reset contract: a
+// second transfer after Reset is bit-identical — payload and Stats — to
+// what a freshly constructed session produces. Before Reset existed the
+// channel PRNG and fault counters leaked across transfers, so a reused
+// session silently saw a different link than a fresh one.
+func TestSessionResetBackToBackTransfers(t *testing.T) {
+	fresh := lossyTestSession(t)
+	data := workload.Text(3*fresh.Codec.FrameCapacity(), 21)
+	wantPayload, wantStats, err := fresh.Transfer(data)
+	if err != nil {
+		t.Fatalf("fresh transfer: %v", err)
+	}
+
+	reused := lossyTestSession(t)
+	if _, _, err := reused.Transfer(data); err != nil {
+		t.Fatalf("first transfer on reused session: %v", err)
+	}
+	reused.Reset()
+	gotPayload, gotStats, err := reused.Transfer(data)
+	if err != nil {
+		t.Fatalf("second transfer after Reset: %v", err)
+	}
+
+	if !bytes.Equal(gotPayload, wantPayload) {
+		t.Fatal("payload after Reset differs from a fresh session's")
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("stats after Reset differ from a fresh session's:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+}
+
+// TestSessionWithoutResetDiverges documents why Reset exists: without it
+// the channel PRNG keeps advancing, so a second transfer sees different
+// link randomness than a fresh session would.
+func TestSessionWithoutResetDiverges(t *testing.T) {
+	fresh := lossyTestSession(t)
+	data := workload.Text(3*fresh.Codec.FrameCapacity(), 21)
+	_, wantStats, err := fresh.Transfer(data)
+	if err != nil {
+		t.Fatalf("fresh transfer: %v", err)
+	}
+
+	reused := lossyTestSession(t)
+	if _, _, err := reused.Transfer(data); err != nil {
+		t.Fatalf("first transfer: %v", err)
+	}
+	_, gotStats, err := reused.Transfer(data)
+	if err != nil {
+		// Divergence may even fail the transfer; that is the point.
+		return
+	}
+	if reflect.DeepEqual(gotStats, wantStats) {
+		t.Skip("link randomness happened to line up; divergence not observable on this seed")
+	}
+}
+
+// TestBeginStepSealMatchesTransfer pins that the stepping API and the
+// one-shot Transfer wrapper produce identical results on identically
+// configured sessions.
+func TestBeginStepSealMatchesTransfer(t *testing.T) {
+	a := lossyTestSession(t)
+	data := workload.Text(3*a.Codec.FrameCapacity(), 8)
+	wantPayload, wantStats, wantErr := a.Transfer(data)
+
+	b := lossyTestSession(t)
+	x, err := b.Begin(data)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	for {
+		done, err := x.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
+			break
+		}
+	}
+	gotPayload, gotStats, gotErr := x.Seal()
+
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("Transfer err %v, stepped err %v", wantErr, gotErr)
+	}
+	if !bytes.Equal(gotPayload, wantPayload) {
+		t.Fatal("stepped payload differs from Transfer")
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("stepped stats differ:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+	if !x.Done() {
+		t.Fatal("Done() false after completion")
+	}
+	if _, err := x.Step(); err == nil {
+		t.Fatal("Step after Seal succeeded")
+	}
+}
+
+// TestXferStateRoundTrip checks State/Resume fidelity: a snapshot resumed
+// into an identically configured session re-snapshots to a deep-equal
+// state, with no aliasing into the original transfer.
+func TestXferStateRoundTrip(t *testing.T) {
+	s := lossyTestSession(t)
+	s.Combine = true
+	data := workload.Text(3*s.Codec.FrameCapacity(), 8)
+	x, err := s.Begin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step until some chunks arrived but the transfer is still open, so the
+	// snapshot carries a non-trivial collector.
+	for x.MissingCount() == x.stats.FramesNeeded && !x.Done() {
+		if _, err := x.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	st := x.State()
+
+	s2 := lossyTestSession(t)
+	s2.Combine = true
+	x2, err := s2.Resume(data, st)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	st2 := x2.State()
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("state round-trip not identical:\n got %+v\nwant %+v", st2, st)
+	}
+
+	// Deep-copy check: mutating the snapshot must not touch the live xfer.
+	if len(st.Missing) > 0 {
+		st.Missing[0] = 9999
+		if x.missing[0] == 9999 {
+			t.Fatal("State aliases the live missing slice")
+		}
+	}
+	for ci, body := range st.Collector.Chunks {
+		if len(body) > 0 {
+			body[0] ^= 0xFF
+			if bytes.Equal(x.collector.chunks[ci], body) {
+				t.Fatal("State aliases live collector chunk bytes")
+			}
+			body[0] ^= 0xFF
+		}
+		break
+	}
+}
+
+// TestResumeRejectsBadState exercises the defensive validation on Resume.
+func TestResumeRejectsBadState(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	data := workload.Text(2*s.Codec.FrameCapacity(), 3)
+	x, err := s.Begin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := x.State()
+
+	mutate := func(f func(*XferState)) *XferState {
+		st := &XferState{}
+		*st = *base
+		st.Missing = append([]int(nil), base.Missing...)
+		st.Collector = base.Collector
+		st.Stats = *base.Stats.Clone()
+		f(st)
+		return st
+	}
+	cases := []struct {
+		name string
+		st   *XferState
+		want string
+	}{
+		{"nil", nil, "nil transfer state"},
+		{"round", mutate(func(st *XferState) { st.Round = 999 }), "out of"},
+		{"seq", mutate(func(st *XferState) { st.NextSeq = 0x8001 }), "15 bits"},
+		{"rate", mutate(func(st *XferState) { st.Rate = -1 }), "rate"},
+		{"missing order", mutate(func(st *XferState) { st.Missing = []int{2, 1} }), "ascending"},
+		{"missing range", mutate(func(st *XferState) { st.Missing = []int{99999} }), "ascending"},
+		{"combiner off", mutate(func(st *XferState) {
+			st.Combiner = &CombinerState{Chunks: []CombinerChunk{{Index: 0}}}
+		}), "does not combine"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := s.Resume(data, c.st)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Resume accepted bad state (err %v, want %q)", err, c.want)
+			}
+		})
+	}
+}
+
+// TestResumeRejectsBadCombinerTables checks soft-table shape validation.
+func TestResumeRejectsBadCombinerTables(t *testing.T) {
+	s := testSession(t, channel.DefaultConfig(), 10)
+	s.Combine = true
+	data := workload.Text(2*s.Codec.FrameCapacity(), 3)
+	x, err := s.Begin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := x.State()
+	st.Combiner = &CombinerState{Chunks: []CombinerChunk{{Index: 1, Cells: nil, Conf: nil}}}
+	if _, err := s.Resume(data, st); err == nil || !strings.Contains(err.Error(), "soft table") {
+		t.Fatalf("short soft table accepted: %v", err)
+	}
+	st.Combiner.Chunks[0].Index = -1
+	if _, err := s.Resume(data, st); err == nil {
+		t.Fatal("negative soft-table chunk accepted")
+	}
+}
+
+// TestCollectorStateRejectsCorruption checks the collector-state validator.
+func TestCollectorStateRejectsCorruption(t *testing.T) {
+	bad := []CollectorState{
+		{Chunks: map[int][]byte{}, Total: 3, FileLen: 10, HaveMeta: false},
+		{Chunks: map[int][]byte{1: {1}}, Total: 0, FileLen: 10, HaveMeta: true},
+		{Chunks: map[int][]byte{5: {1}}, Total: 2, FileLen: 1, HaveMeta: true},
+		{Chunks: map[int][]byte{}, Total: 2, FileLen: 1, HaveMeta: true},                             // meta but no manifest chunk
+		{Chunks: map[int][]byte{0: {1, 2, 3}}, Total: 2, FileLen: 1, HaveMeta: true},                 // manifest unparseable
+		{Chunks: map[int][]byte{0: buildManifest(9, AppText)}, Total: 1, FileLen: 1, HaveMeta: true}, // manifest disagrees
+	}
+	for i, st := range bad {
+		if _, err := NewCollectorFromState(st); err == nil {
+			t.Errorf("case %d: corrupt collector state accepted", i)
+		}
+	}
+
+	// A genuine state round-trips.
+	c := NewCollector()
+	fc := FileCodec{Codec: testSession(t, channel.DefaultConfig(), 10).Codec}
+	data := workload.Text(2*fc.Codec.FrameCapacity(), 3)
+	p0, err := fc.Chunk(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(p0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	c2, err := NewCollectorFromState(st)
+	if err != nil {
+		t.Fatalf("genuine state rejected: %v", err)
+	}
+	if !reflect.DeepEqual(c2.State(), st) {
+		t.Fatal("collector state round-trip not identical")
+	}
+}
+
+// TestStatsClone checks the clone shares no map storage.
+func TestStatsClone(t *testing.T) {
+	s := &Stats{
+		Rounds:     3,
+		RateRounds: map[float64]int{10: 2},
+		FaultCounts: map[string]int{
+			"drop": 1,
+		},
+	}
+	c := s.Clone()
+	if !reflect.DeepEqual(s, c) {
+		t.Fatal("clone not equal")
+	}
+	c.RateRounds[10] = 99
+	c.FaultCounts["drop"] = 99
+	if s.RateRounds[10] == 99 || s.FaultCounts["drop"] == 99 {
+		t.Fatal("clone shares map storage")
+	}
+}

@@ -11,7 +11,8 @@
 # with cross-round combining; the allocation gate holds the steady-state
 # receiver at 0 allocs/op (the DESIGN.md §11 hot-path memory contract);
 # the bench smoke proves the perf-snapshot harness (scripts/bench.sh,
-# BENCH_<n>.json) runs end to end; the fuzz steps
+# BENCH_<n>.json) runs end to end; the serve soak and loadtest smoke
+# gate the multi-session daemon (DESIGN.md §12); the fuzz steps
 # keep the decode paths panic-free on corrupt input (Go runs one fuzz
 # target per invocation, hence one line each). Set CI_FUZZ=0 to skip the
 # fuzz smoke locally and keep the build+lint+test gate fast. Run before
@@ -27,12 +28,23 @@ go build -o /dev/null ./cmd/rainbar-send
 go build -o /dev/null ./cmd/rainbar-recv
 go build -o /dev/null ./cmd/rainbar-debug
 go build -o /dev/null ./cmd/rainbar-lint
+go build -o /dev/null ./cmd/rainbar-serve
 go vet ./...
 go run ./cmd/rainbar-lint ./...
 go test ./...
 go test -race ./...
 go run ./cmd/rainbar-bench -exp fig10a -frames 1 -metrics - >/dev/null
 go run ./cmd/rainbar-bench -exp recovery -frames 1 -recovery combine >/dev/null
+
+# Serve gates: the 1000-session registry soak must be race-clean (it
+# also runs inside `go test -race ./...`; this line keeps it visible as
+# its own gate), and the loadtest smoke must emit a perf snapshot with
+# the serve throughput/latency section populated.
+go test -race -run TestServeSoak ./internal/serve
+go run ./cmd/rainbar-serve -loadtest -sessions 4 -payload 300 -faults 'drop=0.5;' \
+	-perf-json /tmp/rainbar-serve-smoke.json >/dev/null
+grep -q '"sessions_per_sec"' /tmp/rainbar-serve-smoke.json
+grep -q '"p99_round_seconds"' /tmp/rainbar-serve-smoke.json
 
 # Allocation gate: the steady-state receiver benchmark must report
 # 0 allocs/op (TestReceiverSteadyStateAllocFree enforces the same
@@ -48,4 +60,5 @@ if [ "${CI_FUZZ:-1}" != "0" ]; then
 	go test -fuzz=FuzzRSDecode -fuzztime=10s ./internal/rs
 	go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/core
 	go test -fuzz=FuzzLadderDecode -fuzztime=20s ./internal/core
+	go test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/serve
 fi
