@@ -77,6 +77,31 @@ type Config struct {
 	// growth must be annotated (RB-P1), keyed "Recv.Name" for methods or
 	// by bare name for functions. Only consulted in DecodeRoots packages.
 	HotPathFuncs map[string]bool
+	// TaintExemptRoots are packages whose determinism-taint sources are
+	// declared unable to reach contract output (RB-D4): observability is
+	// injected by callers and proven output-neutral, so its wall clock
+	// never taints a contract function that records into it.
+	TaintExemptRoots map[string]bool
+	// LockRoots are the packages whose mutex discipline RB-C3 checks: no
+	// mutex may be held across a transitively blocking operation there.
+	LockRoots map[string]bool
+	// GoroutineRoots are the packages where RB-C4 requires every goroutine
+	// to carry a visible termination path.
+	GoroutineRoots map[string]bool
+	// SnapshotContracts are the struct/codec triples RB-S1 verifies: every
+	// exported field of Type must be mentioned in both the Encode and the
+	// Decode function's call-graph closure.
+	SnapshotContracts []SnapshotContract
+}
+
+// SnapshotContract names one snapshot-completeness obligation (RB-S1).
+// Type is "<contract-key>.<TypeName>"; Encode and Decode are
+// "<contract-key>.<FuncName>" roots whose closures must mention every
+// exported field of the struct.
+type SnapshotContract struct {
+	Type   string
+	Encode string
+	Decode string
 }
 
 // DefaultConfig returns the repository's contract configuration.
@@ -97,6 +122,27 @@ func DefaultConfig() Config {
 		HotPathFuncs: map[string]bool{
 			"Codec.extractGrid": true, "Codec.DecodeFrame": true,
 			"Receiver.ingest": true,
+		},
+		TaintExemptRoots: map[string]bool{
+			// obs is injected observability: recorders and their clocks are
+			// handed in by callers, contract packages never construct them
+			// (RB-O1), and TestRecorderLeavesTablesByteIdentical proves the
+			// recorded values never feed back into contract output.
+			"obs": true,
+		},
+		LockRoots:      map[string]bool{"serve": true},
+		GoroutineRoots: map[string]bool{"serve": true, "transport": true},
+		SnapshotContracts: []SnapshotContract{
+			// The serve snapshot envelope and the transport state it carries:
+			// every exported field must survive the encode/decode round-trip,
+			// so "added a counter, forgot the snapshot" fails the lint gate
+			// instead of silently diverging on restore.
+			{Type: "serve.Snapshot", Encode: "serve.EncodeSnapshot", Decode: "serve.DecodeSnapshot"},
+			{Type: "transport.XferState", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
+			{Type: "transport.CollectorState", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
+			{Type: "transport.CombinerState", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
+			{Type: "transport.CombinerChunk", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
+			{Type: "transport.Stats", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
 		},
 	}
 }
@@ -126,7 +172,34 @@ type Pass struct {
 
 	rule     string // ID of the analyzer currently running
 	findings *[]Finding
-	suppress map[string]map[int]map[string]bool // file -> line -> rule IDs
+	suppress suppressTable
+}
+
+// suppressTable maps file -> line -> suppressed rule IDs.
+type suppressTable map[string]map[int]map[string]bool
+
+// suppressed reports whether a rule is directive-suppressed at a position:
+// on the same line (trailing comment), the line above (standalone comment),
+// or file-wide.
+func (t suppressTable) suppressed(rule string, pos token.Position) bool {
+	lines := t[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1, wholeFile} {
+		if lines[l][rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// merge folds another table into t (used to build the module-wide table;
+// file names are unique across packages, so entries never collide).
+func (t suppressTable) merge(other suppressTable) {
+	for file, lines := range other {
+		t[file] = lines
+	}
 }
 
 // NonTestFiles yields the package's non-test files; most rules scope to
@@ -156,19 +229,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 }
 
 func (p *Pass) suppressed(rule string, pos token.Position) bool {
-	lines := p.suppress[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	// A directive suppresses findings on its own line (trailing comment)
-	// and on the line below (standalone comment above the statement);
-	// file-allow directives are recorded under the whole-file pseudo-line.
-	for _, l := range []int{pos.Line, pos.Line - 1, wholeFile} {
-		if lines[l][rule] {
-			return true
-		}
-	}
-	return false
+	return p.suppress.suppressed(rule, pos)
 }
 
 // TypeOf is shorthand for the package's types.Info.
@@ -180,21 +241,37 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf
 // PkgFunc reports whether call invokes pkgPath.name (a package-level
 // function accessed through its import), e.g. PkgFunc(call, "time", "Now").
 func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != name {
-		return false
-	}
-	return p.IsPkgIdent(sel.X, pkgPath)
+	return infoPkgFunc(p.Pkg.Info, call, pkgPath, name)
 }
 
 // IsPkgIdent reports whether e is an identifier denoting the import of
 // pkgPath in this file (not a shadowing local variable).
 func (p *Pass) IsPkgIdent(e ast.Expr, pkgPath string) bool {
+	return infoIsPkgIdent(p.Pkg.Info, e, pkgPath)
+}
+
+// infoObjectOf resolves an identifier through Uses then Defs.
+func infoObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	return info.ObjectOf(id)
+}
+
+// infoPkgFunc is PkgFunc against a bare types.Info (usable outside a Pass,
+// e.g. by the call-graph summary extraction).
+func infoPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return infoIsPkgIdent(info, sel.X, pkgPath)
+}
+
+// infoIsPkgIdent is IsPkgIdent against a bare types.Info.
+func infoIsPkgIdent(info *types.Info, e ast.Expr, pkgPath string) bool {
 	id, ok := e.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	pn, ok := p.ObjectOf(id).(*types.PkgName)
+	pn, ok := infoObjectOf(info, id).(*types.PkgName)
 	return ok && pn.Imported().Path() == pkgPath
 }
 
@@ -202,14 +279,20 @@ func (p *Pass) IsPkgIdent(e ast.Expr, pkgPath string) bool {
 // recorded; real token positions are always >= 1.
 const wholeFile = -1
 
-// directiveRules parses one comment's lint directive into the rule IDs it
-// suppresses; ok is false when the comment is not a directive at all,
-// fileWide marks //lint:file-allow, and reason reports whether a
-// justification was given.
-func directiveRules(text string) (rules []string, fileWide, reason, ok bool) {
+// directive is one parsed escape-hatch comment.
+type directive struct {
+	Kind   string // "allow", "file-allow", or "ordered"
+	Rules  []string
+	Reason string
+}
+
+// parseDirective parses one comment's lint directive; ok is false when the
+// comment is not a directive at all. A directive with no rule ID parses
+// with empty Rules (RB-X1 flags it).
+func parseDirective(text string) (d directive, ok bool) {
 	body, found := strings.CutPrefix(strings.TrimSpace(text), "//lint:")
 	if !found {
-		return nil, false, false, false
+		return directive{}, false
 	}
 	// A nested "// ..." (fixture want-comments) is not part of the directive.
 	if i := strings.Index(body, "//"); i >= 0 {
@@ -217,34 +300,34 @@ func directiveRules(text string) (rules []string, fileWide, reason, ok bool) {
 	}
 	fields := strings.Fields(body)
 	if len(fields) == 0 {
-		return nil, false, false, false
+		return directive{}, false
 	}
 	switch fields[0] {
 	case "ordered":
-		return []string{"RB-D3"}, false, len(fields) > 1, true
+		return directive{Kind: "ordered", Rules: []string{"RB-D3"}, Reason: strings.Join(fields[1:], " ")}, true
 	case "allow", "file-allow":
 		if len(fields) < 2 {
-			return nil, false, false, true
+			return directive{Kind: fields[0]}, true
 		}
-		return []string{fields[1]}, fields[0] == "file-allow", len(fields) > 2, true
+		return directive{Kind: fields[0], Rules: []string{fields[1]}, Reason: strings.Join(fields[2:], " ")}, true
 	}
-	return nil, false, false, false
+	return directive{}, false
 }
 
 // collectDirectives scans a package's comments into the suppression table
 // and reports reason-less directives (rule RB-X1): an escape hatch that
 // does not say why the invariant still holds is itself a contract breach.
-func collectDirectives(fset *token.FileSet, pkg *Package, findings *[]Finding) map[string]map[int]map[string]bool {
-	table := make(map[string]map[int]map[string]bool)
+func collectDirectives(fset *token.FileSet, pkg *Package, findings *[]Finding) suppressTable {
+	table := make(suppressTable)
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				rules, fileWide, hasReason, ok := directiveRules(c.Text)
+				d, ok := parseDirective(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if len(rules) == 0 || !hasReason {
+				if len(d.Rules) == 0 || d.Reason == "" {
 					*findings = append(*findings, Finding{
 						Rule: "RB-X1",
 						Pos:  pos,
@@ -258,7 +341,7 @@ func collectDirectives(fset *token.FileSet, pkg *Package, findings *[]Finding) m
 					table[pos.Filename] = byLine
 				}
 				line := pos.Line
-				if fileWide {
+				if d.Kind == "file-allow" {
 					line = wholeFile
 				}
 				set := byLine[line]
@@ -266,7 +349,7 @@ func collectDirectives(fset *token.FileSet, pkg *Package, findings *[]Finding) m
 					set = make(map[string]bool)
 					byLine[line] = set
 				}
-				for _, r := range rules {
+				for _, r := range d.Rules {
 					set[r] = true
 				}
 			}

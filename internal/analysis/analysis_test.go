@@ -54,13 +54,15 @@ func fixtureExpectations(t *testing.T, pkg *Package) []expectation {
 	return out
 }
 
-// runFixture loads testdata/src/<name>, runs the full suite with the
-// fixture marked as a contract+decode package (unless contract is false),
-// and checks findings against the // want comments: every want must match
-// a finding on its line, and every finding must be wanted.
-func runFixture(t *testing.T, name string, contract bool) {
+// runFixture loads testdata/src/<name> (sub-packages included), runs the
+// full suite — per-package and whole-module rules — with the fixture marked
+// as a contract+decode package (unless contract is false), and checks
+// findings against the // want comments: every want must match a finding on
+// its line, and every finding must be wanted. conf, when non-nil, adjusts
+// the config (lock roots, snapshot contracts, ...) before the run.
+func runFixture(t *testing.T, name string, contract bool, conf func(*Config)) {
 	t.Helper()
-	pkg, err := LoadDir(filepath.Join("testdata", "src", name))
+	pkgs, err := LoadDirAll(filepath.Join("testdata", "src", name))
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", name, err)
 	}
@@ -72,13 +74,24 @@ func runFixture(t *testing.T, name string, contract bool) {
 			"Codec.extractGrid": true, "Codec.DecodeFrame": true,
 			"Receiver.ingest": true,
 		},
+		// Mirror the real tree: an "obs" sub-package stands in for injected
+		// observability and is taint-exempt.
+		TaintExemptRoots: map[string]bool{"obs": true},
+		LockRoots:        map[string]bool{},
+		GoroutineRoots:   map[string]bool{},
 	}
 	if contract {
 		cfg.ContractRoots[name] = true
 	}
-	r := &Runner{Analyzers: AllAnalyzers(), Config: cfg}
-	findings := r.Run([]*Package{pkg})
-	wants := fixtureExpectations(t, pkg)
+	if conf != nil {
+		conf(&cfg)
+	}
+	r := &Runner{Analyzers: AllAnalyzers(), ModuleAnalyzers: AllModuleAnalyzers(), Config: cfg}
+	findings := r.Run(pkgs)
+	var wants []expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, fixtureExpectations(t, pkg)...)
+	}
 
 	matched := make([]bool, len(findings))
 	for _, w := range wants {
@@ -105,26 +118,42 @@ func TestFixtures(t *testing.T) {
 	fixtures := []struct {
 		name     string
 		contract bool
+		conf     func(*Config)
 	}{
-		{"timenow", true},
-		{"obsclock", true},
-		{"globalrand", true},
-		{"maporder", true},
-		{"sentinelcmp", true},
-		{"wrapverb", true},
-		{"panicguard", true},
-		{"floateq", true},
-		{"poolput", true},
-		{"loopcapture", true},
-		{"ladder", true},
-		{"hotalloc", true},
+		{"timenow", true, nil},
+		{"obsclock", true, nil},
+		{"globalrand", true, nil},
+		{"maporder", true, nil},
+		{"sentinelcmp", true, nil},
+		{"wrapverb", true, nil},
+		{"panicguard", true, nil},
+		{"floateq", true, nil},
+		{"poolput", true, nil},
+		{"loopcapture", true, nil},
+		{"ladder", true, nil},
+		{"hotalloc", true, nil},
 		// The contract rules stay quiet when the package is outside the
 		// contract set, so only the directive check (RB-X1) fires here.
-		{"directive", false},
+		{"directive", false, nil},
+		// Whole-module rules.
+		{"taint", true, nil},
+		{"generics", true, nil},
+		{"snapfields", false, func(c *Config) {
+			c.SnapshotContracts = []SnapshotContract{
+				{Type: "snapfields.State", Encode: "snapfields.EncodeState", Decode: "snapfields.DecodeState"},
+				{Type: "snapfields.Pair", Encode: "snapfields.EncodePair", Decode: "snapfields.DecodePair"},
+			}
+		}},
+		{"lockblock", false, func(c *Config) {
+			c.LockRoots["lockblock"] = true
+		}},
+		{"goterm", false, func(c *Config) {
+			c.GoroutineRoots["goterm"] = true
+		}},
 	}
 	for _, fx := range fixtures {
 		fx := fx
-		t.Run(fx.name, func(t *testing.T) { runFixture(t, fx.name, fx.contract) })
+		t.Run(fx.name, func(t *testing.T) { runFixture(t, fx.name, fx.contract, fx.conf) })
 	}
 }
 

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"bytes"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func buildFixtureGraph(t *testing.T, name string) *Graph {
+	t.Helper()
+	pkgs, err := LoadDirAll(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return BuildGraph(pkgs[0].Fset, pkgs)
+}
+
+// edgeIDs returns "calleeID/kind" for a node's edges, sorted.
+func edgeIDs(n *FuncNode) []string {
+	var out []string
+	for _, e := range n.Edges {
+		out = append(out, e.Callee.ID+"/"+e.Kind.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestGraphEdges pins one example of each edge discovery mode: direct
+// static calls, interface dispatch to all implementers, method-value
+// references, and function-literal collapse.
+func TestGraphEdges(t *testing.T) {
+	g := buildFixtureGraph(t, "callgraph")
+	cases := map[string][]string{
+		// Direct static call.
+		"fixture/callgraph.Direct": {"fixture/callgraph.helper/static"},
+		// Interface dispatch resolves to every in-module implementer.
+		"fixture/callgraph.Dispatch": {
+			"fixture/callgraph.(*B).Run/iface",
+			"fixture/callgraph.(A).Run/iface",
+		},
+		// A method value is a ref edge.
+		"fixture/callgraph.MethodValue": {"fixture/callgraph.(A).Run/ref"},
+		// A literal's calls collapse into the enclosing declaration.
+		"fixture/callgraph.Literal": {"fixture/callgraph.helper/static"},
+		// Plain chaining, and recursion is a self-edge.
+		"fixture/callgraph.Chain": {"fixture/callgraph.Direct/static"},
+		"fixture/callgraph.rec":   {"fixture/callgraph.rec/static"},
+	}
+	for id, want := range cases {
+		n := g.NodeByID(id)
+		if n == nil {
+			t.Fatalf("node %s missing from graph", id)
+		}
+		got := edgeIDs(n)
+		if len(got) != len(want) {
+			t.Errorf("%s edges = %v, want %v", id, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s edges = %v, want %v", id, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestGraphReachable pins transitive closure over all edge kinds.
+func TestGraphReachable(t *testing.T) {
+	g := buildFixtureGraph(t, "callgraph")
+	seen := g.Reachable(g.NodeByID("fixture/callgraph.Chain"))
+	for _, id := range []string{
+		"fixture/callgraph.Chain",
+		"fixture/callgraph.Direct",
+		"fixture/callgraph.helper",
+	} {
+		if !seen[g.NodeByID(id)] {
+			t.Errorf("%s not reachable from Chain", id)
+		}
+	}
+	if seen[g.NodeByID("fixture/callgraph.Dispatch")] {
+		t.Error("Dispatch should not be reachable from Chain")
+	}
+	// Dispatch reaches rec through the (*B).Run interface target.
+	seen = g.Reachable(g.NodeByID("fixture/callgraph.Dispatch"))
+	if !seen[g.NodeByID("fixture/callgraph.rec")] {
+		t.Error("rec not reachable from Dispatch via interface dispatch")
+	}
+}
+
+// TestGraphDumpDeterministic pins that two independent loads of the same
+// tree produce byte-identical -graph dumps.
+func TestGraphDumpDeterministic(t *testing.T) {
+	dump := func() []byte {
+		var buf bytes.Buffer
+		buildFixtureGraph(t, "taint").Dump(&buf, "")
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if len(a) == 0 {
+		t.Fatal("empty graph dump")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("graph dumps differ across loads:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestGraphGenericFold pins that generic methods fold onto one node and
+// that calls through a type-parameter constraint resolve to all
+// implementers of the constraint.
+func TestGraphGenericFold(t *testing.T) {
+	g := buildFixtureGraph(t, "generics")
+	fold := g.NodeByID("fixture/generics.Fold")
+	if fold == nil {
+		t.Fatal("generic Fold has no node")
+	}
+	got := edgeIDs(fold)
+	want := []string{
+		"fixture/generics/impl.(Clock).Sum/iface",
+		"fixture/generics/impl.(Fixed).Sum/iface",
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Fold edges = %v, want %v", got, want)
+	}
+	if g.NodeByID("fixture/generics.(*Buf).Push") == nil {
+		t.Error("generic method Push did not fold onto a (*Buf) node")
+	}
+}

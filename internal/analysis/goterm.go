@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ModuleAnalyzerGoTerm (RB-C4) requires every goroutine started in the
+// daemon packages to have a *visible termination path*: somewhere in the
+// spawned body — or transitively in a function it calls — there must be an
+// operation that makes the goroutine's lifetime observable or controllable
+// from outside: a channel receive, send, select, or range (closing or
+// signalling the channel ends or unblocks it), a context.Done call, or
+// sync.WaitGroup.Done accounting. A goroutine with none of these is a leak
+// by construction: nothing the daemon does at shutdown can stop it or wait
+// for it, which is how "serve drains cleanly in tests, leaks under load"
+// regressions start.
+var ModuleAnalyzerGoTerm = &ModuleAnalyzer{
+	ID:  "RB-C4",
+	Doc: "every goroutine in daemon packages must have a visible termination path",
+	Run: runGoTerm,
+}
+
+func runGoTerm(mp *ModulePass) {
+	g := mp.Graph
+	term := propagate(g, terminationSources(g))
+	for _, n := range g.Nodes {
+		if n.Test || n.Decl.Body == nil || !mp.Config.GoroutineRoots[contractKey(n.Pkg.Path)] {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goTerminates(g, term, n, info, gs) {
+				mp.Report(gs.Pos(), "goroutine has no visible termination path: no channel operation, select, context.Done, or WaitGroup.Done in its body or its callees")
+			}
+			return true
+		})
+	}
+}
+
+// goTerminates reports whether the goroutine started by gs reaches a
+// termination signal: directly in a spawned literal's body, or through the
+// call edges recorded at the spawn site (for literals, the edges inside the
+// literal's body — literals collapse into the enclosing declaration).
+func goTerminates(g *Graph, term map[*FuncNode]*Witness, n *FuncNode, info *types.Info, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if len(terminationOps(info, lit.Body)) > 0 {
+			return true
+		}
+		for _, e := range n.Edges {
+			if e.Pos > lit.Body.Lbrace && e.Pos < lit.Body.Rbrace && term[e.Callee] != nil {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range n.Edges {
+		if e.Pos == gs.Call.Pos() && e.Kind != EdgeRef && term[e.Callee] != nil {
+			return true
+		}
+	}
+	return false
+}

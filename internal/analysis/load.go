@@ -104,6 +104,19 @@ func LoadModule(root string) ([]*Package, error) {
 // "fixture/<name>/<subdir>" (for rules about module-internal packages,
 // e.g. RB-O1's obs stand-in).
 func LoadDir(dir string) (*Package, error) {
+	pkgs, err := LoadDirAll(dir)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// LoadDirAll type-checks a fixture directory plus every package in its
+// immediate subdirectories, all through one loader (so type objects are
+// shared), returning the units with the root fixture package first and
+// sub-packages in path order. Whole-module rules (RB-D4, RB-S1, ...) need
+// the sub-packages as analysis subjects, not just as resolved imports.
+func LoadDirAll(dir string) ([]*Package, error) {
 	l := &Loader{
 		Fset:  token.NewFileSet(),
 		dirs:  map[string]string{},
@@ -123,16 +136,32 @@ func LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	var subPaths []string
 	for _, e := range entries {
 		if e.IsDir() {
-			l.dirs[l.modPath+"/"+e.Name()] = filepath.Join(dir, e.Name())
+			p := l.modPath + "/" + e.Name()
+			l.dirs[p] = filepath.Join(dir, e.Name())
+			subPaths = append(subPaths, p)
 		}
 	}
+	sort.Strings(subPaths)
 	pkg := &Package{Path: l.modPath, Name: name, Dir: dir, Files: files, TestFile: testFile}
 	if err := l.typeCheck(pkg); err != nil {
 		return nil, err
 	}
-	return pkg, nil
+	l.pkgs[l.modPath] = pkg
+	l.state[l.modPath] = loadDone
+	out := []*Package{pkg}
+	for _, p := range subPaths {
+		sub, err := l.check(p) // cached when the root already imported it
+		if err != nil {
+			return nil, err
+		}
+		if sub != nil {
+			out = append(out, sub)
+		}
+	}
+	return out, nil
 }
 
 func modulePath(gomod string) (string, error) {
@@ -299,6 +328,9 @@ func (l *Loader) typeCheck(pkg *Package) error {
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		// Instances record generic instantiations; the call graph folds them
+		// onto their origin declarations via (*types.Func).Origin.
+		Instances: make(map[*ast.Ident]types.Instance),
 	}
 	conf := types.Config{Importer: l}
 	tp, err := conf.Check(pkg.Path, l.Fset, pkg.Files, pkg.Info)

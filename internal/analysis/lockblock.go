@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ModuleAnalyzerLockBlock (RB-C3) enforces the serve daemon's mutex
+// discipline: no mutex may be held across an operation that can block the
+// goroutine indefinitely — a channel send or receive, a blocking select,
+// ranging over a channel, sync.WaitGroup.Wait, or time.Sleep — whether the
+// operation is in the locked region itself or reached transitively through
+// a call. A blocked lock holder wedges every other session touching the
+// same state, which is exactly the failure mode a multi-session daemon
+// exists to avoid.
+//
+// Lock regions are tracked syntactically, per block: a region opens at
+// X.Lock()/X.RLock() and closes at the matching X.Unlock()/X.RUnlock() in
+// the same block (a deferred unlock extends the region to the end of the
+// function; no unlock extends it to the end of the block). Function-literal
+// bodies inside a region are excluded — a literal defined under the lock
+// runs when invoked, which for `go func(){...}()` and enqueued callbacks is
+// after release. sync.Cond.Wait is exempt by construction: it is not in the
+// blocking-op set because it releases the mutex it was built over.
+var ModuleAnalyzerLockBlock = &ModuleAnalyzer{
+	ID:  "RB-C3",
+	Doc: "no mutex may be held across a (transitively) blocking operation in lock-discipline packages",
+	Run: runLockBlock,
+}
+
+func runLockBlock(mp *ModulePass) {
+	g := mp.Graph
+	block := propagate(g, blockOpSources(g))
+	for _, n := range g.Nodes {
+		if n.Test || n.Decl.Body == nil || !mp.Config.LockRoots[contractKey(n.Pkg.Path)] {
+			continue
+		}
+		checkLockRegions(mp, n, block)
+	}
+}
+
+// region is one held-lock span: mutex expression plus the position range it
+// is held over.
+type region struct {
+	mu         string
+	start, end token.Pos
+}
+
+func checkLockRegions(mp *ModulePass, n *FuncNode, block map[*FuncNode]*Witness) {
+	info := n.Pkg.Info
+	var lits [][2]token.Pos // function-literal body ranges, excluded from regions
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			lits = append(lits, [2]token.Pos{lit.Body.Lbrace, lit.Body.Rbrace})
+		}
+		return true
+	})
+	// escapes reports whether pos sits in a function literal the region's
+	// opening Lock is outside of — such code runs when the literal is
+	// invoked, not while the lock is held here.
+	escapes := func(pos, regionStart token.Pos) bool {
+		for _, r := range lits {
+			if pos > r[0] && pos < r[1] && !(regionStart > r[0] && regionStart < r[1]) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var regions []region
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		blk, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range blk.List {
+			mu, ok := lockStmt(info, stmt)
+			if !ok {
+				continue
+			}
+			r := region{mu: mu, start: stmt.End(), end: blk.Rbrace}
+			for _, later := range blk.List[i+1:] {
+				kind, umu := unlockStmt(info, later)
+				if umu != mu {
+					continue
+				}
+				if kind == "defer" {
+					// Held until the enclosing function (or literal) returns.
+					r.end = n.Decl.Body.Rbrace
+					for _, lr := range lits {
+						if stmt.Pos() > lr[0] && stmt.Pos() < lr[1] && lr[1] < r.end {
+							r.end = lr[1]
+						}
+					}
+				} else {
+					r.end = later.Pos()
+				}
+				break
+			}
+			regions = append(regions, r)
+		}
+		return true
+	})
+	if len(regions) == 0 {
+		return
+	}
+
+	held := func(pos token.Pos) string {
+		for _, r := range regions {
+			if pos > r.start && pos < r.end && !escapes(pos, r.start) {
+				return r.mu
+			}
+		}
+		return ""
+	}
+
+	for _, op := range funcBlockOps(n) {
+		if mu := held(op.Pos); mu != "" {
+			mp.Report(op.Pos, "%s is held across %s: a blocked holder wedges every goroutine contending for it", mu, op.Desc)
+		}
+	}
+	// Transitive: one finding per call site, shortest witness wins.
+	best := make(map[token.Pos]Edge)
+	var sites []token.Pos
+	for _, e := range n.Edges {
+		if e.Kind == EdgeRef { // a reference under lock is not a call
+			continue
+		}
+		w := block[e.Callee]
+		if w == nil || held(e.Pos) == "" {
+			continue
+		}
+		cur, ok := best[e.Pos]
+		if !ok {
+			best[e.Pos] = e
+			sites = append(sites, e.Pos)
+			continue
+		}
+		cw := block[cur.Callee]
+		if w.Dist < cw.Dist || (w.Dist == cw.Dist && e.Callee.ID < cur.Callee.ID) {
+			best[e.Pos] = e
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, pos := range sites {
+		e := best[pos]
+		w := block[e.Callee]
+		mp.Report(pos, "%s is held across a call to %s, which can block on %s: %s",
+			held(pos), shortNodeID(e.Callee.ID), w.Op.Desc, chainString(mp.Graph, block, e.Callee))
+	}
+}
+
+// lockStmt recognizes `X.Lock()` / `X.RLock()` statements on sync mutexes
+// and returns the rendered mutex expression.
+func lockStmt(info *types.Info, stmt ast.Stmt) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	return mutexCall(info, es.X, "Lock", "RLock")
+}
+
+// unlockStmt recognizes `X.Unlock()` / `X.RUnlock()` either as a plain
+// statement (kind "call") or deferred (kind "defer").
+func unlockStmt(info *types.Info, stmt ast.Stmt) (kind, mu string) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if mu, ok := mutexCall(info, s.X, "Unlock", "RUnlock"); ok {
+			return "call", mu
+		}
+	case *ast.DeferStmt:
+		if mu, ok := mutexCall(info, s.Call, "Unlock", "RUnlock"); ok {
+			return "defer", mu
+		}
+	}
+	return "", ""
+}
+
+// mutexCall matches a call of one of the named methods on a sync.Mutex or
+// sync.RWMutex receiver and returns the rendered receiver expression.
+func mutexCall(info *types.Info, e ast.Expr, names ...string) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	for _, name := range names {
+		if sel.Sel.Name != name {
+			continue
+		}
+		if isSyncMethod(info, call, "Mutex", name) || isSyncMethod(info, call, "RWMutex", name) {
+			return exprString(sel.X), true
+		}
+	}
+	return "", false
+}

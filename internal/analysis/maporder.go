@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -34,33 +35,52 @@ func runMapOrder(p *Pass) {
 }
 
 func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	for _, ms := range unsortedMapSinks(p.Pkg.Info, body) {
+		p.Report(ms.pos, "map iteration order flows into %s with no sort call after the loop: output becomes nondeterministic across runs", ms.sink)
+	}
+}
+
+// mapSink is one unsorted map-range whose iteration order reaches ordered
+// output. Shared between RB-D3 (reported directly in contract packages)
+// and the RB-D4 taint summaries (a source when it sits in a non-contract
+// function a contract package transitively calls).
+type mapSink struct {
+	pos  token.Pos
+	sink string
+}
+
+// unsortedMapSinks finds every map-range in body feeding an ordered sink
+// with no canonicalizing sort after the loop.
+func unsortedMapSinks(info *types.Info, body *ast.BlockStmt) []mapSink {
+	var out []mapSink
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
 		}
-		if t := p.TypeOf(rng.X); t == nil {
+		if t := info.TypeOf(rng.X); t == nil {
 			return true
 		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		sink := orderedSink(p, rng.Body)
+		sink := orderedSink(info, rng.Body)
 		if sink == "" {
 			return true
 		}
-		if sortCallAfter(p, body, rng) {
+		if sortCallAfter(info, body, rng) {
 			return true
 		}
-		p.Report(rng.Pos(), "map iteration order flows into %s with no sort call after the loop: output becomes nondeterministic across runs", sink)
+		out = append(out, mapSink{pos: rng.Pos(), sink: sink})
 		return true
 	})
+	return out
 }
 
 // orderedSink reports what order-sensitive output the loop body feeds:
 // an append target, a slice element store indexed by a counter, or a
 // direct row emission. Empty means none found (map-to-map copies,
 // aggregations, and the like are order-insensitive).
-func orderedSink(p *Pass, body *ast.BlockStmt) string {
+func orderedSink(info *types.Info, body *ast.BlockStmt) string {
 	sink := ""
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -68,7 +88,7 @@ func orderedSink(p *Pass, body *ast.BlockStmt) string {
 			return true
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := infoObjectOf(info, id).(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
 				sink = "append(" + exprString(call.Args[0]) + ", ...)"
 				return false
 			}
@@ -84,7 +104,7 @@ func orderedSink(p *Pass, body *ast.BlockStmt) string {
 
 // sortCallAfter reports whether any sort/slices-package call appears in fn
 // after the range loop; that is taken as the canonicalizing sort.
-func sortCallAfter(p *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+func sortCallAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -92,7 +112,7 @@ func sortCallAfter(p *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
 			return true
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if p.IsPkgIdent(sel.X, "sort") || p.IsPkgIdent(sel.X, "slices") {
+			if infoIsPkgIdent(info, sel.X, "sort") || infoIsPkgIdent(info, sel.X, "slices") {
 				found = true
 				return false
 			}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModuleAnalyzerSnapFields (RB-S1) verifies snapshot completeness: for each
+// configured SnapshotContract, every exported field of the struct must be
+// mentioned somewhere in the encode root's call-graph closure AND in the
+// decode root's closure. "Mentioned" is a field-object use recorded by the
+// type checker — a selector read or write, or a composite-literal key; an
+// unkeyed (positional) literal of the struct type mentions every field.
+//
+// The point is the failure mode this repo already documents for its serve
+// snapshots: add a counter to XferState, forget to thread it through
+// encodeXferState/decodeXferState, and sessions silently diverge on
+// restore. RB-S1 turns that into a lint-gate failure at the field's
+// declaration, where the author is looking.
+var ModuleAnalyzerSnapFields = &ModuleAnalyzer{
+	ID:  "RB-S1",
+	Doc: "every exported field of snapshot structs must be written by the encode path and read by the decode path",
+	Run: runSnapFields,
+}
+
+func runSnapFields(mp *ModulePass) {
+	for _, sc := range mp.Config.SnapshotContracts {
+		st, tn := mp.lookupStruct(sc.Type)
+		if st == nil {
+			// Loud when the contract's package exists but the type is gone
+			// (a rename would otherwise silently disable the rule); silent
+			// when the whole package is absent (partial or test modules).
+			if key, _, ok := strings.Cut(sc.Type, "."); ok && mp.hasPackageKey(key) {
+				mp.Report(token.NoPos, "snapshot contract: struct %s not found in module", sc.Type)
+			}
+			continue
+		}
+		for _, side := range []struct{ root, what string }{
+			{sc.Encode, "written by the encode path"},
+			{sc.Decode, "read by the decode path"},
+		} {
+			roots := mp.funcNodes(side.root)
+			if len(roots) == 0 {
+				mp.Report(tn.Pos(), "snapshot contract: function %s not found in module", side.root)
+				continue
+			}
+			mentioned := fieldMentions(mp.Graph, roots, st)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() || mentioned[f] {
+					continue
+				}
+				mp.Report(f.Pos(), "exported field %s.%s is never %s (%s): it will be dropped across snapshot/restore",
+					tn.Name(), f.Name(), side.what, side.root)
+			}
+		}
+	}
+}
+
+// hasPackageKey reports whether any canonical module package maps to the
+// given contract key.
+func (mp *ModulePass) hasPackageKey(key string) bool {
+	for _, pkg := range mp.Pkgs {
+		if !strings.HasSuffix(pkg.Path, "_test") && contractKey(pkg.Path) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupStruct resolves a "<contract-key>.<TypeName>" reference to the
+// struct type and its TypeName, searching the module's canonical
+// (non-external-test) packages.
+func (mp *ModulePass) lookupStruct(ref string) (*types.Struct, *types.TypeName) {
+	key, name, ok := strings.Cut(ref, ".")
+	if !ok {
+		return nil, nil
+	}
+	for _, pkg := range mp.Pkgs {
+		if strings.HasSuffix(pkg.Path, "_test") || contractKey(pkg.Path) != key || pkg.Types == nil {
+			continue
+		}
+		tn, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+			return st, tn
+		}
+	}
+	return nil, nil
+}
+
+// funcNodes resolves a "<contract-key>.<name>" reference to the matching
+// non-test graph nodes; name may be a plain function name or a method in
+// "(*T).M" / "(T).M" form.
+func (mp *ModulePass) funcNodes(ref string) []*FuncNode {
+	key, name, ok := strings.Cut(ref, ".")
+	if !ok {
+		return nil
+	}
+	var out []*FuncNode
+	for _, n := range mp.Graph.Nodes {
+		if n.Test || contractKey(n.Pkg.Path) != key {
+			continue
+		}
+		if strings.TrimPrefix(n.ID, n.Pkg.Path+".") == name {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// fieldMentions returns the set of st's fields mentioned anywhere in the
+// call-graph closure of roots.
+func fieldMentions(g *Graph, roots []*FuncNode, st *types.Struct) map[*types.Var]bool {
+	fields := make(map[types.Object]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = st.Field(i)
+	}
+	mentioned := make(map[*types.Var]bool)
+	for n := range g.Reachable(roots...) {
+		if n.Decl.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch e := node.(type) {
+			case *ast.Ident:
+				// Selector reads/writes and composite-literal keys both land
+				// in Uses as the field object.
+				if f, ok := fields[info.Uses[e]]; ok {
+					mentioned[f] = true
+				}
+			case *ast.CompositeLit:
+				if len(e.Elts) == 0 {
+					return true
+				}
+				if _, keyed := e.Elts[0].(*ast.KeyValueExpr); keyed {
+					return true
+				}
+				if t := info.TypeOf(e); t != nil && types.Identical(t.Underlying(), st) {
+					for _, f := range fields {
+						mentioned[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return mentioned
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Per-function summaries and their fixpoint propagation. A summary is the
+// list of "facts" a function establishes locally — determinism-taint
+// sources for RB-D4, blocking operations for RB-C3, termination signals
+// for RB-C4 — and propagate() closes them over the call graph: a function
+// has a fact transitively if any callee (static, interface-resolved, or
+// referenced) has it. Propagation is a multi-source BFS on the reverse
+// graph, so every node also remembers a shortest *witness chain* back to
+// the originating operation — that chain is what turns "serve.step is
+// tainted" into a diagnostic a human can act on.
+
+// Source is one locally established fact: an operation at a position.
+type Source struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// Witness explains a node's transitive fact: the originating operation,
+// the node that contains it, and the next hop toward it (nil when the
+// fact is local to the node itself).
+type Witness struct {
+	Op     Source
+	Origin *FuncNode
+	Next   *FuncNode
+	Dist   int
+}
+
+// propagate closes per-node local facts over the call graph and returns a
+// witness for every node that transitively reaches a fact. Deterministic:
+// nodes are seeded and expanded in graph (ID) order, and BFS guarantees
+// each node keeps a shortest chain.
+func propagate(g *Graph, local map[*FuncNode][]Source) map[*FuncNode]*Witness {
+	rev := make(map[*FuncNode][]*FuncNode, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, e := range n.Edges {
+			rev[e.Callee] = append(rev[e.Callee], n)
+		}
+	}
+	out := make(map[*FuncNode]*Witness)
+	var queue []*FuncNode
+	for _, n := range g.Nodes { // ID order seeds the BFS deterministically
+		if srcs := local[n]; len(srcs) > 0 {
+			out[n] = &Witness{Op: srcs[0], Origin: n}
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		w := out[n]
+		for _, caller := range rev[n] {
+			if out[caller] != nil {
+				continue
+			}
+			out[caller] = &Witness{Op: w.Op, Origin: w.Origin, Next: n, Dist: w.Dist + 1}
+			queue = append(queue, caller)
+		}
+	}
+	return out
+}
+
+// chainString renders the witness chain from start down to the originating
+// operation: "a -> b -> c -> time.Now (file.go:12)". Positions use base
+// filenames so the message is stable across checkouts; the finding's own
+// position carries the full path.
+func chainString(g *Graph, wit map[*FuncNode]*Witness, start *FuncNode) string {
+	var parts []string
+	for cur := start; cur != nil; {
+		parts = append(parts, shortNodeID(cur.ID))
+		w := wit[cur]
+		if w == nil || w.Next == nil {
+			if w != nil {
+				p := g.Fset.Position(w.Op.Pos)
+				parts = append(parts, fmt.Sprintf("%s (%s:%d)", w.Op.Desc, filepath.Base(p.Filename), p.Line))
+			}
+			break
+		}
+		cur = w.Next
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// shortNodeID drops the module prefix from a node ID for diagnostics:
+// "rainbar/internal/serve.(*Server).step" → "serve.(*Server).step".
+func shortNodeID(id string) string {
+	slash := strings.LastIndex(id, "/")
+	if slash < 0 {
+		return id
+	}
+	return id[slash+1:]
+}
+
+// --- determinism-taint sources (RB-D4) ---
+
+// funcSources extracts the determinism-taint sources a node establishes
+// locally: wall-clock reads, global math/rand draws, and map-iteration
+// order flowing into ordered output. When suppress is non-nil, sources
+// annotated away are skipped — an *annotated* source is one whose line
+// carries //lint:allow RB-D4 (or the matching intra-procedural rule's ID:
+// RB-D1 for clock reads, RB-D2 for global rand, RB-D3 / //lint:ordered
+// for map order), asserting the value never reaches contract output.
+func funcSources(n *FuncNode, fset *token.FileSet, suppress suppressTable) []Source {
+	if n.Decl.Body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	keep := func(pos token.Pos, intraRule string) bool {
+		if suppress == nil {
+			return true
+		}
+		p := fset.Position(pos)
+		return !suppress.suppressed("RB-D4", p) && !suppress.suppressed(intraRule, p)
+	}
+	var out []Source
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			for _, name := range []string{"Now", "Since"} {
+				if infoPkgFunc(info, e, "time", name) && keep(e.Pos(), "RB-D1") {
+					out = append(out, Source{Pos: e.Pos(), Desc: "time." + name})
+				}
+			}
+		case *ast.SelectorExpr:
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if infoIsPkgIdent(info, e.X, path) && !globalRandOK[e.Sel.Name] && keep(e.Pos(), "RB-D2") {
+					out = append(out, Source{Pos: e.Pos(), Desc: "global " + path + "." + e.Sel.Name})
+				}
+			}
+		}
+		return true
+	})
+	for _, ms := range unsortedMapSinks(info, n.Decl.Body) {
+		if keep(ms.pos, "RB-D3") {
+			out = append(out, Source{Pos: ms.pos, Desc: "map-iteration order into " + ms.sink})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// taintSources collects the module's local taint sources: every
+// non-contract, non-exempt, non-test function's sources. Sources inside
+// contract packages are RB-D1..D3's business (flagged directly or
+// annotated there); sources in exempt roots (injected observability) are
+// declared unable to reach contract output.
+func taintSources(g *Graph, cfg Config, suppress suppressTable) map[*FuncNode][]Source {
+	local := make(map[*FuncNode][]Source)
+	for _, n := range g.Nodes {
+		if n.Test {
+			continue
+		}
+		key := contractKey(n.Pkg.Path)
+		if cfg.ContractRoots[key] || cfg.TaintExemptRoots[key] {
+			continue
+		}
+		if srcs := funcSources(n, g.Fset, suppress); len(srcs) > 0 {
+			local[n] = srcs
+		}
+	}
+	return local
+}
+
+// --- blocking operations (RB-C3) ---
+
+// funcBlockOps extracts the operations in a node's body that can block the
+// calling goroutine indefinitely: channel sends and receives, blocking
+// selects, ranging over a channel, sync.WaitGroup.Wait, and time.Sleep.
+// sync.Cond.Wait is exempt — it releases the mutex it was built over.
+func funcBlockOps(n *FuncNode) []Source {
+	if n.Decl.Body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	var out []Source
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.SendStmt:
+			out = append(out, Source{Pos: e.Pos(), Desc: "channel send"})
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				out = append(out, Source{Pos: e.Pos(), Desc: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			if blockingSelect(e) {
+				out = append(out, Source{Pos: e.Pos(), Desc: "blocking select"})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					out = append(out, Source{Pos: e.Pos(), Desc: "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if isSyncMethod(info, e, "WaitGroup", "Wait") {
+				out = append(out, Source{Pos: e.Pos(), Desc: "sync.WaitGroup.Wait"})
+			}
+			if infoPkgFunc(info, e, "time", "Sleep") {
+				out = append(out, Source{Pos: e.Pos(), Desc: "time.Sleep"})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// blockingSelect reports whether a select has no default clause (with one,
+// it polls instead of blocking).
+func blockingSelect(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// isSyncMethod reports whether call invokes sync.<recv>.<name>.
+func isSyncMethod(info *types.Info, call *ast.CallExpr, recv, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recv
+}
+
+// blockOpSources collects every non-test module function's local blocking
+// operations (the RB-C3 summary input).
+func blockOpSources(g *Graph) map[*FuncNode][]Source {
+	local := make(map[*FuncNode][]Source)
+	for _, n := range g.Nodes {
+		if n.Test {
+			continue
+		}
+		if ops := funcBlockOps(n); len(ops) > 0 {
+			local[n] = ops
+		}
+	}
+	return local
+}
+
+// --- goroutine termination signals (RB-C4) ---
+
+// terminationOps extracts the operations that make a goroutine's exit
+// externally visible or controllable: receiving (or selecting, or ranging)
+// on a channel, sending on a channel (a rendezvous the spawner observes),
+// a context.Context.Done call, or sync.WaitGroup.Done accounting.
+func terminationOps(info *types.Info, body ast.Node) []Source {
+	var out []Source
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				out = append(out, Source{Pos: e.Pos(), Desc: "channel receive"})
+			}
+		case *ast.SendStmt:
+			out = append(out, Source{Pos: e.Pos(), Desc: "channel send"})
+		case *ast.SelectStmt:
+			out = append(out, Source{Pos: e.Pos(), Desc: "select"})
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					out = append(out, Source{Pos: e.Pos(), Desc: "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if isSyncMethod(info, e, "WaitGroup", "Done") {
+				out = append(out, Source{Pos: e.Pos(), Desc: "sync.WaitGroup.Done"})
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					out = append(out, Source{Pos: e.Pos(), Desc: "context.Done"})
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// terminationSources collects every non-test function's local termination
+// signals (the RB-C4 summary input).
+func terminationSources(g *Graph) map[*FuncNode][]Source {
+	local := make(map[*FuncNode][]Source)
+	for _, n := range g.Nodes {
+		if n.Test || n.Decl.Body == nil {
+			continue
+		}
+		if ops := terminationOps(n.Pkg.Info, n.Decl.Body); len(ops) > 0 {
+			local[n] = ops
+		}
+	}
+	return local
+}

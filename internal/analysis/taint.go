@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// ModuleAnalyzerTaint (RB-D4) is the interprocedural extension of the
+// determinism contract. RB-D1..D3 catch a contract package touching the
+// wall clock, global rand, or map-iteration order *directly*; RB-D4 catches
+// it doing so *through a helper*: any function transitively reachable from
+// a contract package that reaches such a source is flagged at the
+// contract-side call site, with the full call chain down to the operation
+// in the diagnostic.
+//
+// Sources inside contract packages themselves are not re-reported here —
+// they are RB-D1..D3's business (flagged directly, or annotated there, in
+// which case the annotation also clears the taint). Sources in
+// TaintExemptRoots (injected observability) are declared unable to reach
+// contract output and contribute nothing.
+var ModuleAnalyzerTaint = &ModuleAnalyzer{
+	ID:  "RB-D4",
+	Doc: "contract packages must not transitively reach wall clocks, global rand, or map-order-dependent output through helper packages",
+	Run: runTaint,
+}
+
+func runTaint(mp *ModulePass) {
+	g := mp.Graph
+	wit := propagate(g, taintSources(g, mp.Config, mp.suppress))
+	for _, n := range g.Nodes {
+		if n.Test || !mp.Config.ContractRoots[contractKey(n.Pkg.Path)] {
+			continue
+		}
+		// One finding per call site: when interface dispatch fans a site out
+		// to several tainted candidates, keep the shortest (then
+		// lexicographically first) witness.
+		best := make(map[token.Pos]Edge)
+		var sites []token.Pos
+		for _, e := range n.Edges {
+			key := contractKey(e.Callee.Pkg.Path)
+			if mp.Config.ContractRoots[key] || mp.Config.TaintExemptRoots[key] {
+				continue // taint inside the contract boundary is RB-D1..D3's report
+			}
+			w := wit[e.Callee]
+			if w == nil {
+				continue
+			}
+			cur, ok := best[e.Pos]
+			if !ok {
+				best[e.Pos] = e
+				sites = append(sites, e.Pos)
+				continue
+			}
+			cw := wit[cur.Callee]
+			if w.Dist < cw.Dist || (w.Dist == cw.Dist && e.Callee.ID < cur.Callee.ID) {
+				best[e.Pos] = e
+			}
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, pos := range sites {
+			e := best[pos]
+			w := wit[e.Callee]
+			verb := "calls"
+			if e.Kind == EdgeRef {
+				verb = "takes a reference to"
+			}
+			mp.Report(pos, "%s %s %s, which reaches nondeterministic %s: %s",
+				shortNodeID(n.ID), verb, shortNodeID(e.Callee.ID), w.Op.Desc,
+				chainString(g, wit, e.Callee))
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Fixture for the call-graph builder tests: one example of each edge
+// discovery mode.
+package callgraph
+
+type Runner interface{ Run() int }
+
+type A struct{}
+
+func (A) Run() int { return 1 }
+
+type B struct{}
+
+func (*B) Run() int { return rec(2) }
+
+// Direct static call.
+func Direct() int { return helper() }
+
+func helper() int { return 0 }
+
+func rec(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return rec(n - 1)
+}
+
+// Interface dispatch: resolves to every implementer of Runner.
+func Dispatch(r Runner) int { return r.Run() }
+
+// Method value: a ref edge, the value may be called later.
+func MethodValue(a A) func() int { return a.Run }
+
+// Function literal: collapsed into this node, so its call to helper is a
+// static edge of Literal itself.
+func Literal() int {
+	f := func() int { return helper() }
+	return f()
+}
+
+func Chain() int { return Direct() }

@@ -1,0 +1,39 @@
+// Fixture for generic code: the loader must type-check it, and the call
+// graph must degrade conservatively — a call through a type parameter
+// resolves to every in-module implementer of the constraint, so taint in
+// any candidate is found even though the instantiation is never resolved.
+package generics
+
+import "fixture/generics/impl"
+
+type Summer interface{ Sum() int }
+
+func Fold[T Summer](xs []T) int {
+	total := 0
+	for _, x := range xs {
+		total += x.Sum() // want `generics\.Fold calls impl\.\(Clock\)\.Sum, which reaches nondeterministic time\.Now`
+	}
+	return total
+}
+
+func Emit() int {
+	return Fold([]impl.Fixed{{V: 1}, {V: 2}})
+}
+
+// Explicit instantiation resolves through the same path.
+func EmitExplicit() int {
+	return Fold[impl.Fixed](nil)
+}
+
+// Generic container methods fold onto one node per declaration.
+type Buf[T any] struct{ xs []T }
+
+func (b *Buf[T]) Push(x T) {
+	b.xs = append(b.xs, x)
+}
+
+func Fill() *Buf[int] {
+	b := &Buf[int]{}
+	b.Push(1)
+	return b
+}

@@ -1,0 +1,11 @@
+package impl
+
+import "time"
+
+type Clock struct{}
+
+func (Clock) Sum() int { return int(time.Now().Unix()) }
+
+type Fixed struct{ V int }
+
+func (f Fixed) Sum() int { return f.V }

@@ -1,0 +1,66 @@
+// Fixture for RB-C4: every goroutine needs a visible termination path.
+package goterm
+
+import (
+	"context"
+	"sync"
+)
+
+type Daemon struct {
+	stop chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+	n    int
+}
+
+func (d *Daemon) Start() {
+	go d.worker() // ok: worker selects on stop
+	go d.spin()   // want `goroutine has no visible termination path`
+	go func() {   // want `goroutine has no visible termination path`
+		for {
+			d.n++
+		}
+	}()
+	go func() { // ok: range over jobs ends when the channel closes
+		for v := range d.jobs {
+			d.n += v
+		}
+	}()
+	d.wg.Add(1)
+	go func() { // ok: WaitGroup accounting
+		defer d.wg.Done()
+		d.n++
+	}()
+}
+
+func (d *Daemon) worker() {
+	for {
+		select {
+		case <-d.stop:
+			return
+		case v := <-d.jobs:
+			d.n += v
+		}
+	}
+}
+
+func (d *Daemon) spin() {
+	for {
+		d.n++
+	}
+}
+
+func Watch(ctx context.Context, d *Daemon) {
+	go func() { // ok: context.Done
+		<-ctx.Done()
+		d.n = 0
+	}()
+	go deepDrain(d) // ok: termination reached through the callee chain
+}
+
+func deepDrain(d *Daemon) { d.drain() }
+
+func (d *Daemon) drain() {
+	for range d.jobs {
+	}
+}

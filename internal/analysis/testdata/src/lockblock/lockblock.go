@@ -1,0 +1,67 @@
+// Fixture for RB-C3: no mutex held across a blocking operation.
+package lockblock
+
+import "sync"
+
+type Server struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	cond    *sync.Cond
+	ch      chan int
+	pending int
+}
+
+func (s *Server) RecvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want `s\.mu is held across channel receive`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Server) DeferHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `s\.mu is held across channel send`
+}
+
+func (s *Server) ReadHeld() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want `s\.rw is held across channel receive`
+}
+
+// Transitive blocking is found through calls, with the chain reported.
+func (s *Server) Step() {
+	s.mu.Lock()
+	s.wait() // want `s\.mu is held across a call to lockblock\.\(\*Server\)\.wait, which can block on channel receive`
+	s.mu.Unlock()
+}
+
+func (s *Server) wait() { <-s.ch }
+
+// Releasing before the operation is the correct pattern.
+func (s *Server) UnlockFirst() int {
+	s.mu.Lock()
+	s.pending--
+	s.mu.Unlock()
+	return <-s.ch
+}
+
+// sync.Cond.Wait releases the mutex it was built over: exempt.
+func (s *Server) CondWait() {
+	s.mu.Lock()
+	for s.pending == 0 {
+		s.cond.Wait()
+	}
+	s.pending--
+	s.mu.Unlock()
+}
+
+// A literal defined under the lock runs after release (enqueued or spawned);
+// its operations are not "under" this lock.
+func (s *Server) SpawnUnderLock() {
+	s.mu.Lock()
+	fn := func() { <-s.ch }
+	s.mu.Unlock()
+	fn()
+}

@@ -1,0 +1,8 @@
+package clean
+
+import "sort"
+
+func Sorted(xs []string) []string {
+	sort.Strings(xs)
+	return xs
+}

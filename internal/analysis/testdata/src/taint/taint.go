@@ -1,0 +1,46 @@
+// Fixture for RB-D4: interprocedural determinism taint. This package plays
+// a contract package; fixture/taint/util is a helper package with
+// nondeterministic internals, fixture/taint/clean is a pure helper.
+package taint
+
+import (
+	"fixture/taint/clean"
+	"fixture/taint/util"
+)
+
+func Emit() int64 {
+	return util.Stamp() // want `taint\.Emit calls util\.Stamp, which reaches nondeterministic time\.Now: util\.Stamp -> time\.Now \(util\.go:\d+\)`
+}
+
+// Deep taint is found through any number of hops, and the diagnostic
+// carries the whole chain.
+func Deep() int {
+	return util.Outer() // want `taint\.Deep calls util\.Outer, which reaches nondeterministic global math/rand\.Intn: util\.Outer -> util\.roll -> global math/rand\.Intn \(util\.go:\d+\)`
+}
+
+// A reference handed out of the contract package is flagged too: whoever
+// receives it may call it on the contract's behalf.
+func UseRef() {
+	register(util.Stamp) // want `taint\.UseRef takes a reference to util\.Stamp, which reaches nondeterministic time\.Now`
+}
+
+func register(fn func() int64) { sink = fn }
+
+var sink func() int64
+
+// Pure helpers produce no findings.
+func Rows() []string {
+	return clean.Sorted([]string{"b", "a"})
+}
+
+// An annotated call site is an accepted escape hatch.
+func Allowed() int64 {
+	//lint:allow RB-D4 latency telemetry only, value never reaches emitted rows
+	return util.Stamp()
+}
+
+// A source annotated away inside the helper package clears the taint for
+// every caller.
+func UsesLog() int64 {
+	return util.LogTime()
+}

@@ -1,0 +1,17 @@
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Outer() int { return roll() }
+
+func roll() int { return rand.Intn(6) }
+
+func LogTime() int64 {
+	//lint:allow RB-D4 value only reaches the debug log, never contract output
+	return time.Now().UnixNano()
+}

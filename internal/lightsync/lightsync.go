@@ -116,6 +116,7 @@ func NewCodec(cfg Config) (*Codec, error) {
 		}
 		perRow[cell.Row] = append(perRow[cell.Row], cell)
 	}
+	//lint:ordered dataCells is canonicalized by sortCells below; lineCells is keyed per row, so iteration order never reaches output
 	for row, cells := range perRow {
 		if len(cells) <= lineHeaderBits {
 			continue // row too short to carry data; unused

@@ -203,6 +203,7 @@ func (s *Server) step(sess *session) {
 		s.finished(StateCanceled)
 		return
 	}
+	//lint:allow RB-C3 deliberate: sess.mu scopes one session and is held for the whole round so Snapshot and Cancel observe round boundaries; IngestBatch's WaitGroup only joins its own bounded workers
 	info, err := sess.drv.Step()
 	if info.Air > 0 {
 		sess.rounds++

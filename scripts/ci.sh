@@ -30,7 +30,15 @@ go build -o /dev/null ./cmd/rainbar-debug
 go build -o /dev/null ./cmd/rainbar-lint
 go build -o /dev/null ./cmd/rainbar-serve
 go vet ./...
-go run ./cmd/rainbar-lint ./...
+
+# Lint gates, each timed against the <10s budget the interprocedural
+# engine is held to: the -json gate is the machine-readable findings run
+# (whole-module analysis included: RB-D4 taint, RB-S1 snapshot
+# completeness, RB-C3/C4 serve concurrency), and the -annotations gate
+# audits every escape hatch, failing on stale rule IDs.
+time go run ./cmd/rainbar-lint -json ./... >/tmp/rainbar-lint.json
+time go run ./cmd/rainbar-lint -annotations ./...
+
 go test ./...
 go test -race ./...
 go run ./cmd/rainbar-bench -exp fig10a -frames 1 -metrics - >/dev/null
