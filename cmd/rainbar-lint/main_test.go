@@ -298,6 +298,40 @@ func readInt(b []byte) int {
 	return int(b[0])
 }
 `,
+		// A miniature of the durability journal's record framing. The
+		// package path folds to the "serve" contract key, which is how the
+		// real config addresses it ("serve.Record" / "serve.encodeFrame").
+		"internal/serve/journal/journal.go": `package journal
+
+type Record struct {
+	Kind     byte
+	ID       uint64
+	Spec     []byte
+	Snapshot []byte
+	State    byte
+	Err      string
+}
+
+func encodeFrame(rec Record) []byte {
+	b := []byte{rec.Kind, byte(rec.ID), rec.State}
+	b = append(b, rec.Spec...)
+	b = append(b, rec.Snapshot...)
+	return append(b, rec.Err...)
+}
+
+func decodeFrame(b []byte) Record {
+	return Record{
+		Kind:     b[0],
+		ID:       uint64(b[1]),
+		State:    b[2],
+		Spec:     b[3:4],
+		Snapshot: b[4:5],
+		Err:      string(b[5:]),
+	}
+}
+
+var _ = decodeFrame(encodeFrame(Record{}))
+`,
 	}
 }
 
@@ -323,5 +357,22 @@ func TestSnapshotCompletenessGate(t *testing.T) {
 		!strings.Contains(stdout, "XferState.Rate is never written by the encode path") ||
 		!strings.Contains(stdout, filepath.Join("internal", "transport", "state.go")) {
 		t.Fatalf("RB-S1 diagnostic wrong:\n%s", stdout)
+	}
+
+	// The journal frame codec is under the same contract: a Record field
+	// the decoder stops reading would silently vanish from every crash
+	// recovery.
+	torn := snapshotModule()
+	torn["internal/serve/journal/journal.go"] = strings.Replace(
+		torn["internal/serve/journal/journal.go"],
+		"\t\tErr:      string(b[5:]),\n", "", 1)
+	root = writeTree(t, torn)
+	code, stdout, _ = runLint(t, "-dir", root)
+	if code != 1 {
+		t.Fatalf("journal decode line deleted: exit = %d, want 1 (stdout %q)", code, stdout)
+	}
+	if !strings.Contains(stdout, "RB-S1") ||
+		!strings.Contains(stdout, "Record.Err is never read by the decode path") {
+		t.Fatalf("journal RB-S1 diagnostic wrong:\n%s", stdout)
 	}
 }

@@ -6,9 +6,11 @@
 // Usage:
 //
 //	rainbar-serve -listen ADDR [-max-sessions 1024] [-workers 4]
+//	              [-journal DIR] [-fsync always|interval|off] [-recover]
 //	rainbar-serve -loadtest [-sessions 32] [-workers 4] [-payload 400]
 //	              [-seed 1] [-recovery combine] [-faults "spec;spec"]
-//	              [-rounds 8] [-perf-json FILE] [-metrics FILE]
+//	              [-rounds 8] [-journal DIR] [-fsync POLICY]
+//	              [-fsync-sweep] [-perf-json FILE] [-metrics FILE]
 //
 // Daemon mode (-listen) serves:
 //
@@ -20,12 +22,20 @@
 //	GET  /sessions/{id}/result  a terminal session's delivered payload
 //	POST /restore               re-admit a snapshotted session (binary body)
 //	GET  /metrics               Prometheus exposition
-//	GET  /healthz               liveness
+//	GET  /healthz               liveness (JSON serve.Health; always 200)
+//	GET  /readyz                readiness (same body; 503 unless Ready)
+//
+// With -journal the daemon appends every admission, checkpoint and
+// retirement to DIR/serve.journal under the chosen -fsync policy;
+// -recover first rebuilds the pre-crash fleet from that journal
+// (checkpointed sessions resume mid-transfer, the rest restart) before
+// accepting traffic.
 //
 // Loadtest mode (-loadtest) runs a synthetic fleet to completion and
 // prints the throughput/latency report; -perf-json additionally writes
 // a perf snapshot (BENCH_<n>.json schema) with the serve section
-// populated.
+// populated. -fsync-sweep reruns the same fleet journaled under each
+// fsync policy and records the serve_fsync durability-cost section.
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"rainbar/internal/obs"
 	"rainbar/internal/perf"
 	"rainbar/internal/serve"
+	"rainbar/internal/serve/journal"
 	"rainbar/internal/serve/loadgen"
 )
 
@@ -50,6 +61,9 @@ func main() {
 		listen      = flag.String("listen", "", "serve the HTTP admin API on this address (daemon mode)")
 		maxSessions = flag.Int("max-sessions", 1024, "admission bound on concurrently live sessions")
 		workers     = flag.Int("workers", 4, "stepping-pool size")
+		journalDir  = flag.String("journal", "", "journal session durability records to this directory")
+		fsyncFlag   = flag.String("fsync", "interval", "journal fsync policy: always, interval or off")
+		recoverFlag = flag.Bool("recover", false, "rebuild the pre-crash fleet from -journal before serving")
 		loadtest    = flag.Bool("loadtest", false, "run a synthetic fleet to completion and report throughput")
 		sessions    = flag.Int("sessions", 32, "loadtest fleet size")
 		payload     = flag.Int("payload", 400, "loadtest per-session payload bytes")
@@ -57,6 +71,7 @@ func main() {
 		recovery    = flag.String("recovery", "combine", "loadtest decode-recovery mode: off, erasures, ladder or combine")
 		faultsFlag  = flag.String("faults", "", "loadtest fault specs rotated across the fleet, ';'-separated (e.g. 'drop=0.3;;splice=0.5')")
 		rounds      = flag.Int("rounds", 8, "loadtest per-session round bound")
+		fsyncSweep  = flag.Bool("fsync-sweep", false, "loadtest: rerun the fleet journaled under every fsync policy (serve_fsync perf section)")
 		perfJSON    = flag.String("perf-json", "", "write a perf snapshot with the loadtest's serve section to this file ('-' = stdout)")
 		metrics     = flag.String("metrics", "", "write serve metrics after the run ('-' = stdout, *.json = JSON exposition)")
 	)
@@ -64,9 +79,14 @@ func main() {
 	var err error
 	switch {
 	case *loadtest:
-		err = runLoadtest(*sessions, *workers, *payload, *rounds, *seed, *recovery, *faultsFlag, *perfJSON, *metrics, os.Stdout)
+		err = runLoadtest(loadtestOpts{
+			fleet: *sessions, workers: *workers, payload: *payload, rounds: *rounds,
+			seed: *seed, recovery: *recovery, faults: *faultsFlag,
+			journalDir: *journalDir, fsync: *fsyncFlag, sweep: *fsyncSweep,
+			perfJSON: *perfJSON, metrics: *metrics,
+		}, os.Stdout)
 	case *listen != "":
-		err = runDaemon(*listen, *maxSessions, *workers)
+		err = runDaemon(*listen, *maxSessions, *workers, *journalDir, *fsyncFlag, *recoverFlag)
 	default:
 		err = fmt.Errorf("pass -listen ADDR (daemon) or -loadtest (harness); see -h")
 	}
@@ -76,56 +96,104 @@ func main() {
 	}
 }
 
+// loadtestOpts carries the loadtest flag set.
+type loadtestOpts struct {
+	fleet, workers, payload, rounds int
+	seed                            int64
+	recovery, faults                string
+	journalDir, fsync               string
+	sweep                           bool
+	perfJSON, metrics               string
+}
+
 // runLoadtest drives the loadgen harness and writes the report, the
-// optional perf snapshot, and the optional metrics exposition.
-func runLoadtest(fleet, workers, payload, rounds int, seed int64, recovery, faultsFlag, perfJSON, metrics string, out io.Writer) error {
+// optional perf snapshot (with the fsync durability sweep when asked
+// for), and the optional metrics exposition.
+func runLoadtest(o loadtestOpts, out io.Writer) error {
 	var specs []string
-	if faultsFlag != "" {
-		specs = strings.Split(faultsFlag, ";")
+	if o.faults != "" {
+		specs = strings.Split(o.faults, ";")
+	}
+	fs, err := journal.ParseFsync(o.fsync)
+	if err != nil {
+		return err
 	}
 	rec := obs.NewMemory()
-	rep, err := loadgen.Run(loadgen.Config{
-		Fleet:        fleet,
-		Workers:      workers,
-		PayloadBytes: payload,
-		Seed:         seed,
-		Recovery:     recovery,
+	base := loadgen.Config{
+		Fleet:        o.fleet,
+		Workers:      o.workers,
+		PayloadBytes: o.payload,
+		Seed:         o.seed,
+		Recovery:     o.recovery,
 		FaultSpecs:   specs,
-		MaxRounds:    rounds,
+		MaxRounds:    o.rounds,
 		Clock:        obs.NewWallClock(),
 		Recorder:     rec,
-	})
+		JournalDir:   o.journalDir,
+		Fsync:        fs,
+	}
+	rep, err := loadgen.Run(base)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, rep.Table())
-	if perfJSON != "" {
+	if o.perfJSON != "" {
 		s := perf.Describe()
-		s.Serve = &perf.ServeStats{
-			Fleet:           rep.Fleet,
-			Workers:         rep.Workers,
-			Completed:       rep.Completed,
-			Failed:          rep.Failed,
-			Rounds:          rep.Rounds,
-			SessionsPerSec:  rep.SessionsPerSec,
-			P50RoundSeconds: rep.RoundP50.Seconds(),
-			P99RoundSeconds: rep.RoundP99.Seconds(),
-			BytesPerSession: rep.BytesPerSession,
+		s.Serve = serveStats(rep, base)
+		if o.sweep {
+			s.ServeFsync = make(map[string]*perf.ServeStats)
+			for _, policy := range []journal.Fsync{journal.FsyncAlways, journal.FsyncInterval, journal.FsyncOff} {
+				dir, err := os.MkdirTemp("", "rainbar-fsync-sweep-")
+				if err != nil {
+					return err
+				}
+				cfg := base
+				cfg.Recorder = nil // keep the main run's exposition clean
+				cfg.JournalDir = dir
+				cfg.Fsync = policy
+				swept, err := loadgen.Run(cfg)
+				os.RemoveAll(dir)
+				if err != nil {
+					return fmt.Errorf("fsync sweep %s: %w", policy, err)
+				}
+				s.ServeFsync[policy.String()] = serveStats(swept, cfg)
+			}
 		}
-		if err := writeTo(perfJSON, s.WriteJSON); err != nil {
+		if err := writeTo(o.perfJSON, s.WriteJSON); err != nil {
 			return err
 		}
 	}
-	if metrics != "" {
+	if o.metrics != "" {
 		write := rec.WritePrometheus
-		if strings.HasSuffix(metrics, ".json") {
+		if strings.HasSuffix(o.metrics, ".json") {
 			write = rec.WriteJSON
 		}
-		if err := writeTo(metrics, write); err != nil {
+		if err := writeTo(o.metrics, write); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// serveStats maps one loadgen report onto the perf-snapshot schema; the
+// durability fields are set on journaled runs only.
+func serveStats(rep *loadgen.Report, cfg loadgen.Config) *perf.ServeStats {
+	s := &perf.ServeStats{
+		Fleet:           rep.Fleet,
+		Workers:         rep.Workers,
+		Completed:       rep.Completed,
+		Failed:          rep.Failed,
+		Rounds:          rep.Rounds,
+		SessionsPerSec:  rep.SessionsPerSec,
+		P50RoundSeconds: rep.RoundP50.Seconds(),
+		P99RoundSeconds: rep.RoundP99.Seconds(),
+		BytesPerSession: rep.BytesPerSession,
+	}
+	if cfg.JournalDir != "" {
+		s.Fsync = cfg.Fsync.String()
+		s.JournalRecords = rep.JournalRecords
+	}
+	return s
 }
 
 // writeTo runs write against path, with "-" meaning stdout.
@@ -144,11 +212,55 @@ func writeTo(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
+// newDaemonServer builds the daemon's server — plain, journaled, or
+// recovered from a journal — plus the recover report when one ran.
+// Split from runDaemon so tests exercise the durability wiring without
+// a real listener. The caller owns shutdown: Stop the server, then
+// Close its Journal (when non-nil).
+func newDaemonServer(journalDir, fsync string, doRecover bool, maxSessions, workers int, rec obs.Recorder) (*serve.Server, *serve.RecoverReport, error) {
+	cfg := serve.Config{MaxSessions: maxSessions, Workers: workers, Recorder: rec}
+	if journalDir == "" {
+		if doRecover {
+			return nil, nil, errors.New("-recover requires -journal DIR")
+		}
+		return serve.NewServer(cfg), nil, nil
+	}
+	fs, err := journal.ParseFsync(fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := journal.Options{Fsync: fs, Recorder: rec}
+	if doRecover {
+		return serve.Recover(journalDir, opts, cfg)
+	}
+	j, err := journal.Open(journalDir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Journal = j
+	return serve.NewServer(cfg), nil, nil
+}
+
 // runDaemon serves the admin API until the listener fails.
-func runDaemon(addr string, maxSessions, workers int) error {
+func runDaemon(addr string, maxSessions, workers int, journalDir, fsync string, doRecover bool) error {
 	rec := obs.NewMemory()
-	srv := serve.NewServer(serve.Config{MaxSessions: maxSessions, Workers: workers, Recorder: rec})
-	defer srv.Stop()
+	srv, rep, err := newDaemonServer(journalDir, fsync, doRecover, maxSessions, workers, rec)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		srv.Stop()
+		if j := srv.Journal(); j != nil {
+			j.Close()
+		}
+	}()
+	if rep != nil {
+		fmt.Printf("rainbar-serve: recovered %d sessions (%d checkpointed, %d resubmitted, %d skipped)\n",
+			len(rep.Sessions), rep.Checkpointed, rep.Resubmitted, rep.Skipped)
+	}
+	if journalDir != "" {
+		fmt.Printf("rainbar-serve: journaling to %s (fsync=%s)\n", journalDir, fsync)
+	}
 	fmt.Printf("rainbar-serve: listening on %s (max %d sessions, %d workers)\n", addr, maxSessions, workers)
 	return http.ListenAndServe(addr, adminMux(srv, rec))
 }
@@ -158,7 +270,22 @@ func runDaemon(addr string, maxSessions, workers int) error {
 func adminMux(srv *serve.Server, rec *obs.Memory) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// Liveness: answering at all means live; the body carries the
+		// operator detail (live sessions, admission, journal health).
+		writeJSON(w, srv.Health())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: load balancers route on the status code, so a
+		// draining daemon or one with a poisoned journal turns 503
+		// while /healthz stays 200.
+		h := srv.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if err := rec.WritePrometheus(w); err != nil {

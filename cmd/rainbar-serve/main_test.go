@@ -9,7 +9,6 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-	"time"
 
 	"rainbar/internal/obs"
 	"rainbar/internal/perf"
@@ -24,7 +23,11 @@ func TestLoadtestWritesPerfSnapshot(t *testing.T) {
 	perfPath := filepath.Join(dir, "bench.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
 	var report bytes.Buffer
-	err := runLoadtest(4, 2, 300, 6, 7, "combine", "drop=0.5;", perfPath, metricsPath, &report)
+	err := runLoadtest(loadtestOpts{
+		fleet: 4, workers: 2, payload: 300, rounds: 6, seed: 7,
+		recovery: "combine", faults: "drop=0.5;", fsync: "interval",
+		perfJSON: perfPath, metrics: metricsPath,
+	}, &report)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +86,19 @@ func TestAdminAPI(t *testing.T) {
 		return resp, buf.Bytes()
 	}
 
-	if resp, body := get("/healthz"); resp.StatusCode != 200 || string(body) != "ok\n" {
+	if resp, body := get("/healthz"); resp.StatusCode != 200 {
 		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	} else {
+		var h serve.Health
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("healthz body is not health JSON: %v\n%s", err, body)
+		}
+		if !h.Accepting || h.Journal != "off" {
+			t.Fatalf("healthz of a fresh journal-less daemon: %+v", h)
+		}
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("readyz while accepting: %d", resp.StatusCode)
 	}
 	if resp, _ := get("/sessions/42"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown session: %d", resp.StatusCode)
@@ -141,13 +155,7 @@ func TestAdminAPI(t *testing.T) {
 	}
 
 	// Wait for every session to finish, then read results over HTTP.
-	deadline := time.Now().Add(30 * time.Second)
-	for srv.Active() > 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("sessions did not finish in time")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	srv.Quiesce()
 	resp, body := get("/sessions/" + jsonID(admitted.ID) + "/result")
 	if resp.StatusCode != 200 {
 		t.Fatalf("result: %d %s", resp.StatusCode, body)
@@ -164,6 +172,133 @@ func TestAdminAPI(t *testing.T) {
 	}
 	if resp, _ := get(snapPath(admitted.ID)); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("snapshot of terminal session: %d", resp.StatusCode)
+	}
+}
+
+// TestReadyzTracksAdmission: /readyz flips to 503 once the daemon stops
+// accepting sessions, while /healthz keeps answering 200 (liveness).
+func TestReadyzTracksAdmission(t *testing.T) {
+	rec := obs.NewMemory()
+	srv := serve.NewServer(serve.Config{MaxSessions: 2, Workers: 1, Recorder: rec})
+	ts := httptest.NewServer(adminMux(srv, rec))
+	defer ts.Close()
+
+	srv.Drain() // closes admission
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Accepting {
+		t.Fatalf("readyz after Drain: %d %+v, want 503 not-accepting", resp.StatusCode, h)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz must stay 200 on a draining daemon: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestDaemonJournalRecover drives the -journal/-recover wiring the way
+// runDaemon does: run a journaled daemon, kill it, recover into a new
+// one, and check the journaled history still governs id issuance.
+func TestDaemonJournalRecover(t *testing.T) {
+	dir := t.TempDir()
+	srv, rep, err := newDaemonServer(dir, "always", false, 8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("plain journaled start produced a recover report: %+v", rep)
+	}
+	id, err := srv.Submit(serve.SessionSpec{Payload: []byte("daemon durability"), MaxRounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Quiesce()
+	srv.Stop()
+	srv.Journal().Close()
+
+	srv2, rep2, err := newDaemonServer(dir, "interval", true, 8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv2.Stop()
+		srv2.Journal().Close()
+	}()
+	if rep2 == nil {
+		t.Fatal("recover produced no report")
+	}
+	if len(rep2.Sessions) != 0 || rep2.Skipped != 0 {
+		t.Fatalf("terminal session resurrected or skipped: %+v", rep2)
+	}
+	if h := srv2.Health(); h.Journal != "ok" {
+		t.Fatalf("recovered daemon journal health %q, want ok", h.Journal)
+	}
+	// The retired id must not be reissued after the crash.
+	id2, err := srv2.Submit(serve.SessionSpec{Payload: []byte("fresh"), MaxRounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 <= id {
+		t.Fatalf("post-recovery id %d aliases journaled id %d", id2, id)
+	}
+	srv2.Quiesce()
+}
+
+// TestDaemonRecoverRequiresJournal: -recover without -journal is a
+// usage error, not a silent fresh start.
+func TestDaemonRecoverRequiresJournal(t *testing.T) {
+	if _, _, err := newDaemonServer("", "interval", true, 8, 2, nil); err == nil {
+		t.Fatal("recover without a journal dir was accepted")
+	}
+	if _, _, err := newDaemonServer(t.TempDir(), "sometimes", false, 8, 2, nil); err == nil {
+		t.Fatal("bad fsync policy was accepted")
+	}
+}
+
+// TestLoadtestFsyncSweep: the sweep writes one serve_fsync entry per
+// policy, each a completed journaled run.
+func TestLoadtestFsyncSweep(t *testing.T) {
+	perfPath := filepath.Join(t.TempDir(), "sweep.json")
+	var report bytes.Buffer
+	err := runLoadtest(loadtestOpts{
+		fleet: 2, workers: 2, payload: 300, rounds: 6, seed: 7,
+		recovery: "combine", fsync: "interval", sweep: true,
+		perfJSON: perfPath,
+	}, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(perfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := perf.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.ServeFsync) != 3 {
+		t.Fatalf("serve_fsync has %d entries, want always/interval/off: %+v", len(snap.ServeFsync), snap.ServeFsync)
+	}
+	for _, policy := range []string{"always", "interval", "off"} {
+		s := snap.ServeFsync[policy]
+		if s == nil {
+			t.Fatalf("serve_fsync missing %q", policy)
+		}
+		if s.Completed == 0 || s.JournalRecords < 2*s.Fleet || s.Fsync != policy {
+			t.Fatalf("degenerate %q sweep entry: %+v", policy, s)
+		}
+	}
+	// The main (journal-less) run must not carry durability fields.
+	if snap.Serve == nil || snap.Serve.Fsync != "" || snap.Serve.JournalRecords != 0 {
+		t.Fatalf("journal-less main run grew durability fields: %+v", snap.Serve)
 	}
 }
 

@@ -143,6 +143,11 @@ func DefaultConfig() Config {
 			{Type: "transport.CombinerState", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
 			{Type: "transport.CombinerChunk", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
 			{Type: "transport.Stats", Encode: "serve.encodeXferState", Decode: "serve.decodeXferState"},
+			// The durability journal's record framing (internal/serve/journal
+			// folds to the "serve" contract key): a Record field that skips
+			// encodeFrame/decodeFrame would silently vanish from the WAL and
+			// so from every crash recovery.
+			{Type: "serve.Record", Encode: "serve.encodeFrame", Decode: "serve.decodeFrame"},
 		},
 	}
 }

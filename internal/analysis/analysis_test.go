@@ -181,6 +181,11 @@ func TestContractKey(t *testing.T) {
 		"rainbar":                      "rainbar",
 		"rainbar/cmd/rainbar-bench":    "rainbar-bench",
 		"fixture/timenow":              "timenow",
+		// The durability subsystem folds under the serve roots, so the
+		// journal and the chaos harness inherit serve's contract, lock,
+		// and goroutine rules without their own entries.
+		"rainbar/internal/serve/journal": "serve",
+		"rainbar/internal/serve/chaos":   "serve",
 	}
 	for path, want := range cases {
 		if got := contractKey(path); got != want {

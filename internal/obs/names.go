@@ -102,6 +102,22 @@ const (
 	MServeRounds = "rainbar_serve_rounds_total"
 	// MServeSnapshots counts session snapshots taken.
 	MServeSnapshots = "rainbar_serve_snapshots_total"
+	// MServeJournalRecords counts records appended to the durability
+	// journal; label kind is submit, checkpoint or terminal.
+	MServeJournalRecords = "rainbar_serve_journal_records_total"
+	// MServeJournalCompactions counts journal compactions (rewrites that
+	// drop superseded records).
+	MServeJournalCompactions = "rainbar_serve_journal_compactions_total"
+	// MServeReplays counts sessions rebuilt from the journal by Recover.
+	MServeReplays = "rainbar_serve_replays_total"
+	// MServeRetries counts transient step failures retried with backoff.
+	MServeRetries = "rainbar_serve_retries_total"
+	// MServePanicsRecovered counts worker panics isolated to their
+	// session (the session fails; the server keeps serving).
+	MServePanicsRecovered = "rainbar_serve_panics_recovered_total"
+	// MServeDeadlineExpiries counts rounds abandoned at the round
+	// deadline by the stall watchdog.
+	MServeDeadlineExpiries = "rainbar_serve_deadline_expiries_total"
 
 	// --- experiment: the sweep-point worker pool ---
 

@@ -58,6 +58,11 @@ type ServeStats struct {
 	P50RoundSeconds float64 `json:"p50_round_seconds"`
 	P99RoundSeconds float64 `json:"p99_round_seconds"`
 	BytesPerSession float64 `json:"bytes_per_session"`
+	// Fsync and JournalRecords are set on journaled (durable) runs only:
+	// the journal fsync policy under which the run was measured and the
+	// number of records it appended.
+	Fsync          string `json:"fsync,omitempty"`
+	JournalRecords int    `json:"journal_records,omitempty"`
 }
 
 // Snapshot is a full benchmark run plus the host/build context needed to
@@ -74,6 +79,10 @@ type Snapshot struct {
 	Results    []Result `json:"results,omitempty"`
 	// Serve is present on serve-loadtest snapshots only.
 	Serve *ServeStats `json:"serve,omitempty"`
+	// ServeFsync is present on `rainbar-serve -loadtest -fsync-sweep`
+	// snapshots: the same fleet measured once per journal fsync policy,
+	// keyed "always" / "interval" / "off" — the durability cost curve.
+	ServeFsync map[string]*ServeStats `json:"serve_fsync,omitempty"`
 }
 
 // Describe returns a snapshot carrying only host/build context (no kernel

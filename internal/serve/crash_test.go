@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rainbar/internal/serve/journal"
+)
+
+// TestCrashMatrixBitIdentical is the durability acceptance property:
+// journal a fleet that spans the faults x recovery matrix with a
+// checkpoint at every round boundary, then simulate a crash after EVERY
+// record and Recover from the surviving prefix — every recovered
+// session must deliver exactly the uncrashed run's payload, Stats and
+// error. Workers=1 keeps the record order (and so the kill points)
+// deterministic.
+func TestCrashMatrixBitIdentical(t *testing.T) {
+	fleet := []struct{ faults, mode string }{
+		{"", "off"},
+		{"drop=0.6,seed=11", "erasures"},
+		{"splice=0.55,occlude=0.5,seed=5", "combine"},
+	}
+	cfg := func(j *journal.Journal) Config {
+		return Config{Workers: 1, Journal: j, CheckpointEvery: 1}
+	}
+
+	refDir := t.TempDir()
+	j, err := journal.Open(refDir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(cfg(j))
+	ids := make([]uint64, len(fleet))
+	for i, m := range fleet {
+		if ids[i], err = s.Submit(propSpec(m.faults, m.mode)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Quiesce()
+	ref := map[uint64]outcome{}
+	for _, id := range ids {
+		info, err := s.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != StateDone {
+			t.Fatalf("reference session %d ended %s (%s); matrix needs completable specs", id, info.State, info.Err)
+		}
+		payload, stats, _ := s.Result(id)
+		ref[id] = outcome{payload: payload, stats: stats}
+	}
+	s.Drain()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(refDir, journal.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, tail, err := journal.Replay(data)
+	if err != nil || tail != len(data) {
+		t.Fatalf("reference journal does not replay cleanly: tail %d/%d, %v", tail, len(data), err)
+	}
+	if len(records) < len(fleet)*3 {
+		t.Fatalf("only %d records journaled; checkpoints are not flowing", len(records))
+	}
+
+	for k := 0; k <= len(records); k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill@%d", k), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			jk, err := journal.Open(dir, journal.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range records[:k] {
+				if err := jk.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := jk.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Who must come back: per-session order is submit → checkpoints
+			// → terminal, so last-writer-wins folding is exact.
+			expect := map[uint64]bool{}
+			for _, rec := range records[:k] {
+				expect[rec.ID] = rec.Kind != journal.KindTerminal
+			}
+
+			srv, rep, err := Recover(dir, journal.Options{}, cfg(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				srv.Drain()
+				srv.Journal().Close()
+			}()
+			if rep.Skipped != 0 {
+				t.Fatalf("recovery skipped %d sessions", rep.Skipped)
+			}
+			recovered := map[uint64]bool{}
+			for _, id := range rep.Sessions {
+				recovered[id] = true
+				if !expect[id] {
+					t.Fatalf("session %d resurrected (terminal before the kill)", id)
+				}
+			}
+			for id, live := range expect {
+				if live && !recovered[id] {
+					t.Fatalf("live session %d dropped by recovery", id)
+				}
+			}
+
+			srv.Quiesce()
+			for _, id := range rep.Sessions {
+				info, err := srv.Info(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				payload, stats, resErr := srv.Result(id)
+				got := outcome{payload: payload, stats: stats}
+				if resErr != nil {
+					got.errText = resErr.Error()
+				}
+				want := ref[id]
+				if info.State != StateDone || got.errText != want.errText {
+					t.Fatalf("session %d: state %s err %q, want done with %q", id, info.State, got.errText, want.errText)
+				}
+				if string(got.payload) != string(want.payload) {
+					t.Fatalf("session %d payload diverged after crash at record %d", id, k)
+				}
+				if !reflect.DeepEqual(got.stats, want.stats) {
+					t.Fatalf("session %d stats diverged:\n got %+v\nwant %+v", id, got.stats, want.stats)
+				}
+			}
+		})
+	}
+}

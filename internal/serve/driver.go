@@ -61,6 +61,12 @@ type transportFactory struct {
 	rec obs.Recorder
 }
 
+// DefaultFactory returns the transport-backed factory the server uses
+// when Config.Factory is nil: real transfers over the simulated link.
+// The chaos harness wraps it to inject worker-level faults in front of
+// real drivers.
+func DefaultFactory(rec obs.Recorder) Factory { return transportFactory{rec: rec} }
+
 // transportDriver advances one transport.Xfer round by round, rebuilding
 // the link before every round from seeds mixed out of (spec, round).
 type transportDriver struct {
@@ -211,6 +217,10 @@ func (d *transportDriver) Step() (StepInfo, error) {
 		Air:      d.x.Stats().AirTime - airBefore,
 	}, nil
 }
+
+// Resumes reports the transfer's resume-generation count (surfaced as
+// SessionInfo.Resumes).
+func (d *transportDriver) Resumes() int { return d.x.Resumes() }
 
 func (d *transportDriver) Snapshot() ([]byte, error) {
 	if d.sealed {

@@ -1,0 +1,335 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindSubmit, ID: 1, Spec: []byte(`{"Payload":"aGk="}`)},
+		{Kind: KindSubmit, ID: 2, Spec: []byte(`{"Payload":"eW8="}`)},
+		{Kind: KindCheckpoint, ID: 1, Snapshot: bytes.Repeat([]byte{0xAB, 0xCD}, 50)},
+		{Kind: KindTerminal, ID: 2, State: 4, Err: "serve: session panicked: boom"},
+		{Kind: KindCheckpoint, ID: 1, Snapshot: bytes.Repeat([]byte{0x11}, 7)},
+		{Kind: KindTerminal, ID: 1, State: 3},
+	}
+}
+
+func openAppend(t *testing.T, dir string, recs []Record, opts Options) {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestJournalRoundTrip proves append → reopen → replay fidelity for
+// every record kind and every fsync policy.
+func TestJournalRoundTrip(t *testing.T) {
+	for _, fsync := range []Fsync{FsyncAlways, FsyncInterval, FsyncOff} {
+		t.Run(fsync.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			recs := testRecords()
+			openAppend(t, dir, recs, Options{Fsync: fsync, SyncEvery: 2})
+
+			j, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			if got := j.Records(); !reflect.DeepEqual(got, recs) {
+				t.Fatalf("replayed %+v\nwant %+v", got, recs)
+			}
+			if j.Appended() != 0 {
+				t.Fatalf("Appended after open = %d, want 0", j.Appended())
+			}
+		})
+	}
+}
+
+// TestJournalDeterministicBytes proves journal content is a pure
+// function of the record sequence — the property that lets the chaos
+// harness rebuild any crash prefix through the public API.
+func TestJournalDeterministicBytes(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	openAppend(t, dirA, testRecords(), Options{})
+	openAppend(t, dirB, testRecords(), Options{Fsync: FsyncAlways})
+	a, err := os.ReadFile(filepath.Join(dirA, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirB, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same records produced different journal bytes")
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append: garbage after the
+// last complete frame must be truncated on reopen, keeping every record
+// before it, and appends must continue cleanly from the repaired tail.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	openAppend(t, dir, recs, Options{})
+	path := filepath.Join(dir, FileName)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, torn := range [][]byte{
+		{0x03},                      // length prefix cut short
+		{0x20, 0x00, 0x00, 0x00},    // full length, no payload
+		{0x05, 0x00, 0x00, 0x00, 1}, // payload cut short
+		encodeFrame(Record{Kind: KindSubmit, ID: 9})[:11], // real frame cut mid-payload
+	} {
+		if err := os.WriteFile(path, append(append([]byte(nil), clean...), torn...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open with torn tail %x: %v", torn, err)
+		}
+		if got := j.Records(); !reflect.DeepEqual(got, recs) {
+			t.Fatalf("torn tail %x damaged replay: got %d records, want %d", torn, len(got), len(recs))
+		}
+		extra := Record{Kind: KindSubmit, ID: 9, Spec: []byte("{}")}
+		if err := j.Append(extra); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		j2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := j2.Records(); !reflect.DeepEqual(got, append(append([]Record(nil), recs...), extra)) {
+			t.Fatalf("append after torn-tail repair lost records: %+v", got)
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalCorruptFrame: bit rot inside an interior frame truncates
+// replay at that frame — the records before it survive, the ones after
+// are sacrificed rather than trusted.
+func TestJournalCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	openAppend(t, dir, recs, Options{})
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the third frame's offset and flip a payload bit there.
+	off := headerLen
+	for i := 0; i < 2; i++ {
+		off += int(4 + le32(data[off:]) + 4)
+	}
+	data[off+5] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, tail, err := Replay(data)
+	if err != nil {
+		t.Fatalf("corrupt interior frame must truncate, not error: %v", err)
+	}
+	if tail != off {
+		t.Fatalf("replay tail = %d, want truncation at %d", tail, off)
+	}
+	if !reflect.DeepEqual(got, recs[:2]) {
+		t.Fatalf("replay kept %d records, want the 2 before the corruption", len(got))
+	}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// TestJournalHeaderErrors: bytes that are not a journal fail classified.
+func TestJournalHeaderErrors(t *testing.T) {
+	if _, _, err := Replay([]byte("NOTAJRNL")); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, _, err := Replay([]byte("xy")); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("short garbage: %v", err)
+	}
+	if _, _, err := Replay([]byte{'R', 'B', 'J', 'L', 99, 0}); !errors.Is(err, ErrJournalVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+	// Torn header prefixes are an empty journal, not an error.
+	for _, pre := range []string{"", "R", "RBJ", "RBJL", "RBJL\x01"} {
+		recs, tail, err := Replay([]byte(pre))
+		if err != nil || len(recs) != 0 || tail != 0 {
+			t.Fatalf("header prefix %q: recs=%d tail=%d err=%v", pre, len(recs), tail, err)
+		}
+	}
+	// On-disk garbage must also fail Open, classified.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, FileName), []byte("NOTAJRNL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("Open on garbage: %v", err)
+	}
+}
+
+// TestJournalCompact: compaction atomically replaces the file with the
+// keep set, resets the append counter, and later appends extend it.
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := []Record{recs[4]} // session 1's latest checkpoint
+	if err := j.Compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 0 {
+		t.Fatalf("Appended after compact = %d, want 0", j.Appended())
+	}
+	extra := Record{Kind: KindTerminal, ID: 1, State: 3}
+	if err := j.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	want := append(append([]Record(nil), keep...), extra)
+	if got := j2.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after compact+append: %+v\nwant %+v", got, want)
+	}
+}
+
+// budgetFS doles out a byte budget across every file it opens; writes
+// past it fail like a full disk.
+type budgetFS struct{ left int }
+
+type budgetFile struct {
+	fs *budgetFS
+	f  *os.File
+}
+
+func (fs *budgetFS) open(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetFile{fs: fs, f: f}, nil
+}
+
+func (b *budgetFile) Write(p []byte) (int, error) {
+	if b.fs.left < len(p) {
+		return 0, fmt.Errorf("disk full")
+	}
+	b.fs.left -= len(p)
+	return b.f.Write(p)
+}
+func (b *budgetFile) Sync() error  { return b.f.Sync() }
+func (b *budgetFile) Close() error { return b.f.Close() }
+
+// TestJournalDiskFullStickyAndHeal: the first failed write poisons the
+// journal (every Append reports it, none panics), and a Compact once
+// space is back heals it.
+func TestJournalDiskFullStickyAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	fs := &budgetFS{left: 64}
+	j, err := Open(dir, Options{Open: fs.open, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var failed error
+	for i := 0; i < 20 && failed == nil; i++ {
+		failed = j.Append(Record{Kind: KindCheckpoint, ID: 1, Snapshot: bytes.Repeat([]byte{1}, 30)})
+	}
+	if failed == nil {
+		t.Fatal("64-byte disk accepted 20 checkpoints")
+	}
+	if j.Err() == nil {
+		t.Fatal("failed append did not stick")
+	}
+	if err := j.Append(Record{Kind: KindTerminal, ID: 1, State: 3}); err == nil {
+		t.Fatal("append after sticky failure succeeded")
+	}
+	// A compaction attempted while the disk is still full must fail,
+	// keep the sticky error, and leave the old journal bytes untouched
+	// (regression: a shadowed error once let a failed compact rename an
+	// empty temp file over the journal and report success).
+	before, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact([]Record{{Kind: KindSubmit, ID: 2, Spec: []byte("{}")}}); err == nil {
+		t.Fatal("Compact on a full disk reported success")
+	}
+	if j.Err() == nil {
+		t.Fatal("failed compact cleared the sticky error")
+	}
+	after, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed compact modified the journal file")
+	}
+
+	// Space returns; compaction rewrites a fresh file and clears the
+	// sticky error.
+	fs.left = 1 << 20
+	keep := []Record{{Kind: KindSubmit, ID: 2, Spec: []byte("{}")}}
+	if err := j.Compact(keep); err != nil {
+		t.Fatalf("Compact after disk recovery: %v", err)
+	}
+	if j.Err() != nil {
+		t.Fatalf("sticky error survived successful compact: %v", j.Err())
+	}
+	if err := j.Append(Record{Kind: KindTerminal, ID: 2, State: 3}); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if got := len(j.Records()); got != 0 {
+		t.Fatalf("Records() after compact = %d pre-open records, want 0", got)
+	}
+}
+
+// TestJournalFsyncParse covers the flag parser both ways.
+func TestJournalFsyncParse(t *testing.T) {
+	for _, f := range []Fsync{FsyncAlways, FsyncInterval, FsyncOff} {
+		got, err := ParseFsync(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFsync(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if got, err := ParseFsync(""); err != nil || got != FsyncInterval {
+		t.Fatalf("empty policy = %v, %v, want interval default", got, err)
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

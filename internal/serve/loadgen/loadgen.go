@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rainbar/internal/obs"
 	"rainbar/internal/serve"
+	"rainbar/internal/serve/journal"
 	"rainbar/internal/workload"
 )
 
@@ -55,6 +57,15 @@ type Config struct {
 	Clock obs.Clock
 	// Recorder, when set, receives the server's serve_* metrics.
 	Recorder obs.Recorder
+	// JournalDir, when non-empty, runs the fleet durably: the server
+	// journals every admission, checkpoint and retirement to this
+	// directory, so the run measures the fsync policy's throughput cost.
+	JournalDir string
+	// Fsync is the journal durability policy (JournalDir runs only).
+	Fsync journal.Fsync
+	// CheckpointEvery is the per-session checkpoint round interval
+	// (JournalDir runs only; 0 = the server default).
+	CheckpointEvery int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -104,6 +115,11 @@ type Report struct {
 	SessionsPerSec float64
 	// BytesPerSession is BytesDelivered over Completed (0 when none).
 	BytesPerSession float64
+	// JournalRecords is the number of records the run appended to the
+	// journal (0 on journal-less runs). Deterministic for a given Config:
+	// each session journals one submit, its round-interval checkpoints
+	// and one terminal record, regardless of worker interleaving.
+	JournalRecords int
 }
 
 // mix derives a per-session seed stream from the base seed: splitmix64
@@ -144,6 +160,24 @@ func (cfg Config) specFor(i int) serve.SessionSpec {
 	return spec
 }
 
+// journalCounter tallies journal record appends (any kind label) on top
+// of the caller's recorder, so the report carries a records count even
+// on recorder-less runs. Counts, not contents: the journal itself never
+// depends on it.
+type journalCounter struct {
+	inner obs.Recorder
+	n     int64
+}
+
+func (c *journalCounter) Inc(name string, delta int64) {
+	if strings.HasPrefix(name, obs.MServeJournalRecords) {
+		atomic.AddInt64(&c.n, delta)
+	}
+	c.inner.Inc(name, delta)
+}
+func (c *journalCounter) Observe(name string, v float64) { c.inner.Observe(name, v) }
+func (c *journalCounter) Span(name string) func()        { return c.inner.Span(name) }
+
 // Run executes the fleet to completion and aggregates the report.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
@@ -151,20 +185,46 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: Config.Clock is required (inject obs.NewWallClock() or a *obs.ManualClock)")
 	}
 	start := cfg.Clock.Now()
+	var jnl *journal.Journal
+	counter := &journalCounter{inner: obs.OrNop(cfg.Recorder)}
+	if cfg.JournalDir != "" {
+		var err error
+		jnl, err = journal.Open(cfg.JournalDir, journal.Options{
+			Fsync:    cfg.Fsync,
+			Recorder: counter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: open journal: %w", err)
+		}
+	}
 	srv := serve.NewServer(serve.Config{
-		MaxSessions: cfg.Fleet,
-		Workers:     cfg.Workers,
-		Recorder:    cfg.Recorder,
+		MaxSessions:     cfg.Fleet,
+		Workers:         cfg.Workers,
+		Recorder:        cfg.Recorder,
+		Journal:         jnl,
+		CheckpointEvery: cfg.CheckpointEvery,
 	})
 	for i := 0; i < cfg.Fleet; i++ {
 		if _, err := srv.Submit(cfg.specFor(i)); err != nil {
 			srv.Stop()
+			if jnl != nil {
+				jnl.Close()
+			}
 			return nil, fmt.Errorf("loadgen: submit session %d: %w", i, err)
 		}
 	}
 	srv.Drain()
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			return nil, fmt.Errorf("loadgen: close journal: %w", err)
+		}
+	}
 
-	r := &Report{Fleet: cfg.Fleet, Workers: cfg.Workers}
+	r := &Report{
+		Fleet:          cfg.Fleet,
+		Workers:        cfg.Workers,
+		JournalRecords: int(atomic.LoadInt64(&counter.n)),
+	}
 	var airs []time.Duration
 	for _, info := range srv.Sessions() {
 		if info.State == serve.StateDone {
@@ -227,5 +287,8 @@ func (r *Report) Table() string {
 	fmt.Fprintf(&b, "  p99 round       %v\n", r.RoundP99)
 	fmt.Fprintf(&b, "  bytes/session   %.1f\n", r.BytesPerSession)
 	fmt.Fprintf(&b, "  sessions/sec    %.3f\n", r.SessionsPerSec)
+	if r.JournalRecords > 0 {
+		fmt.Fprintf(&b, "  journal records %d\n", r.JournalRecords)
+	}
 	return b.String()
 }

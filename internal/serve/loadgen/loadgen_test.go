@@ -2,12 +2,15 @@ package loadgen
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rainbar/internal/obs"
+	"rainbar/internal/serve/journal"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/golden_loadgen.txt from the current harness output")
@@ -92,5 +95,39 @@ func TestReportWorkerInvariance(t *testing.T) {
 func TestRunRequiresClock(t *testing.T) {
 	if _, err := Run(Config{Fleet: 1}); err == nil {
 		t.Fatal("Run accepted a nil clock")
+	}
+}
+
+// TestJournaledRunCountsRecords: a JournalDir run journals the whole
+// fleet (one submit + one terminal per session, plus the per-round
+// checkpoints), the count lands in the report and its table row, and —
+// like every other report field — it is invariant under worker count.
+func TestJournaledRunCountsRecords(t *testing.T) {
+	journaled := func(workers int) Config {
+		cfg := goldenConfig(workers)
+		cfg.JournalDir = t.TempDir()
+		cfg.Fsync = journal.FsyncAlways
+		cfg.CheckpointEvery = 1
+		return cfg
+	}
+	a, err := Run(journaled(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JournalRecords < 2*a.Fleet {
+		t.Fatalf("journal records = %d, want at least submit+terminal per session (fleet %d)", a.JournalRecords, a.Fleet)
+	}
+	if a.JournalRecords <= 2*a.Fleet {
+		t.Fatalf("journal records = %d: no checkpoints flowed at CheckpointEvery=1", a.JournalRecords)
+	}
+	if !strings.Contains(a.Table(), fmt.Sprintf("journal records %d\n", a.JournalRecords)) {
+		t.Fatalf("table missing the journal row:\n%s", a.Table())
+	}
+	b, err := Run(journaled(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.JournalRecords != a.JournalRecords {
+		t.Fatalf("journal record count depends on workers: %d vs %d", a.JournalRecords, b.JournalRecords)
 	}
 }

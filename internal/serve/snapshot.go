@@ -27,11 +27,12 @@ var (
 	ErrSnapshotChecksum = errors.New("serve: snapshot checksum mismatch")
 )
 
-// snapshot envelope format, version 1 (all integers little-endian):
+// snapshot envelope format, version 2 (all integers little-endian):
 //
 //	offset size
 //	0      4    magic "RBSS"
-//	4      2    version (currently 1)
+//	4      2    version (currently 2; version 1 lacked the driver
+//	            state's trailing resume counter)
 //	6      8    session id
 //	14     1    session state byte
 //	15     4    spec length NS, then NS bytes of SessionSpec JSON
@@ -40,7 +41,7 @@ var (
 //	...    4    CRC-32 (IEEE) over every preceding byte
 const (
 	snapshotMagic   = "RBSS"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
 // Snapshot is a decoded session snapshot.
@@ -294,6 +295,7 @@ func encodeXferState(st *transport.XferState) []byte {
 	}
 
 	encodeStats(w, &st.Stats)
+	w.uvarint(uint64(st.Resumes))
 	return w.buf
 }
 
@@ -355,6 +357,7 @@ func decodeXferState(data []byte) (*transport.XferState, error) {
 	}
 
 	decodeStats(r, &st.Stats)
+	st.Resumes = int(r.uvarint())
 	if r.err == nil && len(r.buf) != 0 {
 		r.fail("%d trailing bytes", len(r.buf))
 	}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rainbar/internal/transport"
+)
+
+// TestRetryDelayDeterministic pins the backoff math: the delay is a
+// pure function of (policy, attempt, seed), grows exponentially from
+// Backoff, never exceeds MaxBackoff, and never drops below half the
+// capped exponential (equal jitter).
+func TestRetryDelayDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 8, Backoff: 10 * time.Millisecond, MaxBackoff: time.Second}.withDefaults()
+	for attempt := 0; attempt < 40; attempt++ {
+		for seed := int64(0); seed < 4; seed++ {
+			d1 := p.delay(attempt, seed)
+			d2 := p.delay(attempt, seed)
+			if d1 != d2 {
+				t.Fatalf("delay(%d, %d) not deterministic: %v vs %v", attempt, seed, d1, d2)
+			}
+			exp := p.MaxBackoff
+			if attempt < 32 {
+				if e := p.Backoff << attempt; e < exp {
+					exp = e
+				}
+			}
+			if d1 < exp/2 || d1 > exp {
+				t.Fatalf("delay(%d, %d) = %v outside [%v, %v]", attempt, seed, d1, exp/2, exp)
+			}
+		}
+	}
+	// Different seeds must actually jitter (otherwise colliding retries
+	// stay synchronized).
+	spread := map[time.Duration]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		spread[p.delay(3, seed)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatal("jitter is constant across seeds")
+	}
+}
+
+// TestManualWatch pins the injected clock's semantics: nothing fires
+// before its due time, Advance fires exactly what came due, Flush
+// releases the rest.
+func TestManualWatch(t *testing.T) {
+	w := NewManualWatch()
+	fired := func(ch <-chan time.Time) bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	immediate := w.After(0)
+	if !fired(immediate) {
+		t.Fatal("After(0) did not fire immediately")
+	}
+	a := w.After(10 * time.Millisecond)
+	b := w.After(30 * time.Millisecond)
+	if w.Waiting() != 2 {
+		t.Fatalf("Waiting = %d, want 2", w.Waiting())
+	}
+	w.Advance(9 * time.Millisecond)
+	if fired(a) || fired(b) {
+		t.Fatal("timer fired before due")
+	}
+	w.Advance(1 * time.Millisecond)
+	if !fired(a) || fired(b) {
+		t.Fatal("Advance fired the wrong timers")
+	}
+	w.Flush()
+	if !fired(b) || w.Waiting() != 0 {
+		t.Fatal("Flush left a timer pending")
+	}
+}
+
+// transientDriver fails every step with a retryable error; it can never
+// finish, so a session stays parked in the retry loop.
+type transientDriver struct{ attempts int }
+
+type transientFactory struct{ drv *transientDriver }
+
+func (f transientFactory) New(SessionSpec) (Driver, error) { return f.drv, nil }
+func (f transientFactory) Restore(SessionSpec, []byte) (Driver, error) {
+	return f.drv, nil
+}
+
+func (d *transientDriver) Step() (StepInfo, error) {
+	d.attempts++
+	return StepInfo{}, fmt.Errorf("%w: flaky backend (attempt %d)", ErrTransient, d.attempts)
+}
+func (d *transientDriver) Snapshot() ([]byte, error) { return []byte{0x5E}, nil }
+func (d *transientDriver) Result() ([]byte, *transport.Stats, error) {
+	return nil, nil, ErrSessionActive
+}
+
+// TestStopDuringBackoffLeavesSessionLive: Stop must interrupt a retry
+// backoff the way it interrupts a queued session — the session stays
+// live at its round boundary, snapshotable for migration.
+func TestStopDuringBackoffLeavesSessionLive(t *testing.T) {
+	watch := NewManualWatch()
+	defer watch.Flush()
+	drv := &transientDriver{}
+	s := NewServer(Config{
+		Workers: 1,
+		Watch:   watch,
+		Retry:   RetryPolicy{MaxRetries: 1 << 20},
+		Factory: transientFactory{drv: drv},
+	})
+	id, err := s.Submit(SessionSpec{Payload: []byte("p")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker reaches the backoff wait when its timer registers.
+	for i := 0; watch.Waiting() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("worker never reached the retry backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	info, err := s.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State.Terminal() {
+		t.Fatalf("stop during backoff killed the session: %s (%s)", info.State, info.Err)
+	}
+	if _, err := s.Snapshot(id); err != nil {
+		t.Fatalf("session not snapshotable after stop mid-backoff: %v", err)
+	}
+	if drv.attempts == 0 {
+		t.Fatal("driver was never stepped")
+	}
+}
+
+// TestRetryExhaustionIsFatal: one more failure than the budget ends the
+// session with the transient cause.
+func TestRetryExhaustionIsFatal(t *testing.T) {
+	watch := NewManualWatch()
+	defer watch.Flush()
+	drv := &transientDriver{}
+	s := NewServer(Config{
+		Workers: 1,
+		Watch:   watch,
+		Retry:   RetryPolicy{MaxRetries: 3},
+		Factory: transientFactory{drv: drv},
+	})
+	id, err := s.Submit(SessionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { s.Quiesce(); close(done) }()
+	quiesced := false
+	for i := 0; i < 30000 && !quiesced; i++ {
+		select {
+		case <-done:
+			quiesced = true
+		default:
+			watch.Advance(time.Second)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if !quiesced {
+		t.Fatal("session never exhausted its retries")
+	}
+	s.Drain()
+	info, err := s.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateFailed || !strings.Contains(info.Err, "flaky backend") {
+		t.Fatalf("state %s err %q, want failed with the transient cause", info.State, info.Err)
+	}
+	if drv.attempts != 4 {
+		t.Fatalf("driver stepped %d times, want 1 first attempt + 3 retries", drv.attempts)
+	}
+}
+
+// wedgeDriver blocks its first step until released — a wedged round for
+// the deadline watchdog to reap.
+type wedgeDriver struct{ gate chan struct{} }
+
+type wedgeFactory struct{ gate chan struct{} }
+
+func (f wedgeFactory) New(SessionSpec) (Driver, error)             { return wedgeDriver{f.gate}, nil }
+func (f wedgeFactory) Restore(SessionSpec, []byte) (Driver, error) { return wedgeDriver{f.gate}, nil }
+
+func (d wedgeDriver) Step() (StepInfo, error) {
+	<-d.gate
+	return StepInfo{Done: true}, nil
+}
+func (d wedgeDriver) Snapshot() ([]byte, error) { return []byte{0xD0}, nil }
+func (d wedgeDriver) Result() ([]byte, *transport.Stats, error) {
+	return []byte("late"), &transport.Stats{}, nil
+}
+
+// TestRoundDeadlineReapsWedgedStep: a step that never returns fails its
+// session with ErrRoundDeadline once the injected clock passes the
+// deadline; the abandoned step goroutine is released afterwards and the
+// terminal result is unaffected.
+func TestRoundDeadlineReapsWedgedStep(t *testing.T) {
+	watch := NewManualWatch()
+	defer watch.Flush()
+	gate := make(chan struct{})
+	s := NewServer(Config{
+		Workers:       1,
+		RoundDeadline: time.Minute,
+		Watch:         watch,
+		Factory:       wedgeFactory{gate: gate},
+	})
+	id, err := s.Submit(SessionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; watch.Waiting() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("watchdog timer never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	watch.Advance(time.Minute)
+	s.Quiesce()
+	if _, _, err := s.Result(id); !errors.Is(err, ErrRoundDeadline) {
+		t.Fatalf("result error = %v, want ErrRoundDeadline", err)
+	}
+	// Release the abandoned goroutine; its late result must change nothing.
+	close(gate)
+	if _, _, err := s.Result(id); !errors.Is(err, ErrRoundDeadline) {
+		t.Fatalf("late step completion altered the terminal result: %v", err)
+	}
+	s.Drain()
+}
+
+// TestQuiesceWaitsForFleet: Quiesce blocks until every admitted session
+// is terminal, then submission still works (unlike Drain).
+func TestQuiesceWaitsForFleet(t *testing.T) {
+	s := NewServer(Config{Workers: 2, Factory: fakeFactory{}})
+	for i := 0; i < 6; i++ {
+		if _, err := s.Submit(SessionSpec{Payload: []byte{byte(i)}, MaxRounds: 2 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Quiesce()
+	for _, info := range s.Sessions() {
+		if !info.State.Terminal() {
+			t.Fatalf("session %d still %s after Quiesce", info.ID, info.State)
+		}
+	}
+	if _, err := s.Submit(SessionSpec{MaxRounds: 1}); err != nil {
+		t.Fatalf("Quiesce closed admission: %v", err)
+	}
+	s.Drain()
+}

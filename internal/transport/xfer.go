@@ -31,6 +31,7 @@ type Xfer struct {
 	comb      *combiner
 	done      bool
 	sealed    bool
+	resumes   int
 }
 
 // Begin validates the session and payload and returns a transfer positioned
@@ -192,6 +193,12 @@ func (x *Xfer) MissingCount() int { return len(x.missing) }
 // Done reports whether no further round will run.
 func (x *Xfer) Done() bool { return x.done }
 
+// Resumes returns how many State/Resume generations precede this
+// transfer: 0 for a fresh Begin, incremented by every Resume. Resume
+// metadata only — it never influences a round's outcome, it just lets a
+// daemon report how often a session has been migrated or crash-recovered.
+func (x *Xfer) Resumes() int { return x.resumes }
+
 // Stats returns the live statistics. The caller must not mutate them; they
 // keep changing until Seal.
 func (x *Xfer) Stats() *Stats { return x.stats }
@@ -214,6 +221,11 @@ type XferState struct {
 	// does not combine or nothing is cached.
 	Combiner *CombinerState
 	Stats    Stats
+	// Resumes counts the State/Resume generations before this snapshot
+	// (resume metadata; Resume stores it incremented). Deliberately kept
+	// out of Stats so resumed and uninterrupted transfers stay
+	// bit-identical where it counts — in delivered bytes and accounting.
+	Resumes int
 }
 
 // State snapshots the transfer at the current round boundary.
@@ -228,6 +240,7 @@ func (x *Xfer) State() *XferState {
 		Collector: x.collector.State(),
 		Combiner:  x.comb.state(),
 		Stats:     *x.stats.Clone(),
+		Resumes:   x.resumes,
 	}
 	return st
 }
@@ -278,6 +291,7 @@ func (s *Session) Resume(data []byte, st *XferState) (*Xfer, error) {
 	x.collector = collector
 	x.comb = comb
 	x.stats = st.Stats.Clone()
+	x.resumes = st.Resumes + 1
 	// Begin already counted a transfer start; a resume continues an
 	// existing one, so take the increment back out of the books.
 	s.obsInc(obs.MTransportTransfers, -1)

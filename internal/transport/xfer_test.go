@@ -148,6 +148,12 @@ func TestXferStateRoundTrip(t *testing.T) {
 		t.Fatalf("Resume: %v", err)
 	}
 	st2 := x2.State()
+	if x2.Resumes() != 1 || st2.Resumes != 1 {
+		t.Fatalf("resume generation = %d/%d, want 1/1", x2.Resumes(), st2.Resumes)
+	}
+	// Aside from the resume-generation counter (metadata, bumped by
+	// design), the state must round-trip bit-identically.
+	st2.Resumes = st.Resumes
 	if !reflect.DeepEqual(st, st2) {
 		t.Fatalf("state round-trip not identical:\n got %+v\nwant %+v", st2, st)
 	}

@@ -2,16 +2,28 @@
 # bench.sh — regenerate a BENCH_<n>.json perf snapshot.
 #
 # Usage:
-#   scripts/bench.sh              # write BENCH_<n>.json (first free index)
-#   scripts/bench.sh out.json     # write to an explicit path
-#   BENCHTIME=100ms scripts/bench.sh /tmp/smoke.json   # quick smoke run
+#   scripts/bench.sh                    # kernel snapshot, first free index
+#   scripts/bench.sh out.json           # kernel snapshot, explicit path
+#   scripts/bench.sh -serve [out.json]  # serve durability snapshot: the
+#                                       # loadtest fleet journaled under
+#                                       # fsync=always/interval/off (the
+#                                       # serve_fsync sessions/sec curve)
+#   BENCHTIME=100ms scripts/bench.sh /tmp/smoke.json     # quick smoke run
+#   SESSIONS=4 scripts/bench.sh -serve /tmp/smoke.json   # quick serve smoke
 #
 # The snapshot schema (ns/op, allocs/op, B/op per kernel, plus git rev and
-# host CPU count) is defined in internal/perf. Snapshots are only
-# comparable when taken on the same host; CI uses a short BENCHTIME smoke
-# to prove the harness runs, not to compare numbers.
+# host CPU count) is defined in internal/perf; -serve snapshots fill the
+# serve and serve_fsync sections instead of kernel results. Snapshots are
+# only comparable when taken on the same host; CI uses a short BENCHTIME
+# smoke to prove the harness runs, not to compare numbers.
 set -eu
 cd "$(dirname "$0")/.."
+
+mode=kernel
+if [ "${1:-}" = "-serve" ]; then
+    mode=serve
+    shift
+fi
 
 out="${1:-}"
 if [ -z "$out" ]; then
@@ -20,5 +32,12 @@ if [ -z "$out" ]; then
     out="BENCH_$n.json"
 fi
 
-go run ./cmd/rainbar-bench -perf-json "$out" -perf-benchtime "${BENCHTIME:-1s}"
+if [ "$mode" = "serve" ]; then
+    go run ./cmd/rainbar-serve -loadtest -fsync-sweep \
+        -sessions "${SESSIONS:-32}" -payload "${PAYLOAD:-400}" \
+        -faults "${FAULTS:-drop=0.4;}" \
+        -perf-json "$out" >/dev/null
+else
+    go run ./cmd/rainbar-bench -perf-json "$out" -perf-benchtime "${BENCHTIME:-1s}"
+fi
 echo "wrote $out"

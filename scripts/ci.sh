@@ -35,9 +35,14 @@ go vet ./...
 # engine is held to: the -json gate is the machine-readable findings run
 # (whole-module analysis included: RB-D4 taint, RB-S1 snapshot
 # completeness, RB-C3/C4 serve concurrency), and the -annotations gate
-# audits every escape hatch, failing on stale rule IDs.
-time go run ./cmd/rainbar-lint -json ./... >/tmp/rainbar-lint.json
-time go run ./cmd/rainbar-lint -annotations ./...
+# audits every escape hatch, failing on stale rule IDs. (Timed with
+# date(1), not the `time` keyword — /bin/sh is dash on some CI hosts.)
+lint_t0=$(date +%s)
+go run ./cmd/rainbar-lint -json ./... >/tmp/rainbar-lint.json
+echo "rainbar-lint -json: $(($(date +%s) - lint_t0))s"
+lint_t0=$(date +%s)
+go run ./cmd/rainbar-lint -annotations ./...
+echo "rainbar-lint -annotations: $(($(date +%s) - lint_t0))s"
 
 go test ./...
 go test -race ./...
@@ -54,6 +59,14 @@ go run ./cmd/rainbar-serve -loadtest -sessions 4 -payload 300 -faults 'drop=0.5;
 grep -q '"sessions_per_sec"' /tmp/rainbar-serve-smoke.json
 grep -q '"p99_round_seconds"' /tmp/rainbar-serve-smoke.json
 
+# Durability gates: the chaos harness's kill-at-random-round property
+# (crash, torn journal tail, Recover, bit-identical delivery) and the
+# crash matrix (a kill after EVERY journal record) must hold under the
+# race detector — crash recovery that only works without -race is not
+# crash recovery.
+go test -race -run 'TestChaos' ./internal/serve/chaos
+go test -race -run TestCrashMatrixBitIdentical ./internal/serve
+
 # Allocation gate: the steady-state receiver benchmark must report
 # 0 allocs/op (TestReceiverSteadyStateAllocFree enforces the same
 # contract in-process; this reads the number the snapshots record).
@@ -69,4 +82,5 @@ if [ "${CI_FUZZ:-1}" != "0" ]; then
 	go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/core
 	go test -fuzz=FuzzLadderDecode -fuzztime=20s ./internal/core
 	go test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/serve
+	go test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/serve/journal
 fi
